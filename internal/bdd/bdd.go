@@ -1,0 +1,327 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (roBDDs) specialized for representing sets of small non-negative
+// integers — the lineage sets of §3.4 / [12] of the paper.
+//
+// A set S ⊆ {0..2^bits-1} is encoded as the boolean function that is
+// true exactly on the binary encodings of S's elements, with the most
+// significant bit as the top variable. The paper's two observations —
+// lineage sets of live values overlap heavily, and the input indices
+// in a set are clustered — are exactly the cases where this encoding
+// collapses: shared subsets share subgraphs, and a contiguous run of
+// indices needs O(bits) nodes rather than O(run length).
+//
+// Nodes are hash-consed in a manager table, so set equality is
+// pointer (handle) equality and memory is shared across all sets.
+package bdd
+
+import "fmt"
+
+// Ref is a handle to a BDD node owned by a Manager. The constants
+// False and True are the terminal nodes.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level int32 // variable index, 0 = most significant bit
+	lo    Ref   // child when the variable is 0
+	hi    Ref   // child when the variable is 1
+}
+
+type opKey struct {
+	op   uint8
+	a, b Ref
+}
+
+const (
+	opUnion uint8 = iota
+	opIntersect
+	opDiff
+)
+
+// Manager owns the node table and operation caches for one BDD space.
+// It is not safe for concurrent use.
+type Manager struct {
+	bits   int
+	nodes  []node
+	unique map[node]Ref
+	cache  map[opKey]Ref
+	counts map[Ref]uint64 // memoized set cardinalities
+}
+
+// NewManager creates a manager for sets over {0 .. 2^bits-1}.
+func NewManager(bits int) *Manager {
+	if bits <= 0 || bits > 62 {
+		panic(fmt.Sprintf("bdd: unsupported bit width %d", bits))
+	}
+	m := &Manager{
+		bits:   bits,
+		nodes:  make([]node, 2, 1024),
+		unique: make(map[node]Ref),
+		cache:  make(map[opKey]Ref),
+		counts: make(map[Ref]uint64),
+	}
+	// nodes[0] and nodes[1] are the terminals; level = bits marks
+	// "below the last variable".
+	m.nodes[0] = node{level: int32(bits)}
+	m.nodes[1] = node{level: int32(bits)}
+	return m
+}
+
+// Bits returns the universe width.
+func (m *Manager) Bits() int { return m.bits }
+
+// NumNodes returns the number of live nodes (including terminals) —
+// the memory figure the lineage experiments report.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// mk returns the canonical node (level, lo, hi), applying the
+// reduction rules: identical children collapse, duplicates share.
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[n]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	m.unique[n] = r
+	return r
+}
+
+// Empty returns the empty set.
+func (m *Manager) Empty() Ref { return False }
+
+// Universe returns the full set {0..2^bits-1}.
+func (m *Manager) Universe() Ref { return True }
+
+// Singleton returns the set {x}.
+func (m *Manager) Singleton(x int64) Ref {
+	if x < 0 || x >= 1<<uint(m.bits) {
+		panic(fmt.Sprintf("bdd: element %d outside universe of %d bits", x, m.bits))
+	}
+	r := True
+	for level := int32(m.bits) - 1; level >= 0; level-- {
+		bit := (x >> uint(int32(m.bits)-1-level)) & 1
+		if bit == 1 {
+			r = m.mk(level, False, r)
+		} else {
+			r = m.mk(level, r, False)
+		}
+	}
+	return r
+}
+
+// Interval returns the set {lo..hi} (inclusive). Clustered lineage
+// sets are intervals, which BDDs encode in O(bits) nodes.
+func (m *Manager) Interval(lo, hi int64) Ref {
+	if lo > hi {
+		return False
+	}
+	return m.interval(0, 0, int64(1)<<uint(m.bits)-1, lo, hi)
+}
+
+// interval builds the BDD for [lo,hi] restricted to the subtree at
+// the given level covering values [min,max].
+func (m *Manager) interval(level int32, min, max, lo, hi int64) Ref {
+	if hi < min || lo > max {
+		return False
+	}
+	if lo <= min && max <= hi {
+		return True
+	}
+	mid := min + (max-min)/2
+	l := m.interval(level+1, min, mid, lo, hi)
+	h := m.interval(level+1, mid+1, max, lo, hi)
+	return m.mk(level, l, h)
+}
+
+// Union returns a ∪ b.
+func (m *Manager) Union(a, b Ref) Ref {
+	switch {
+	case a == b:
+		return a
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == True || b == True:
+		return True
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := opKey{op: opUnion, a: a, b: b}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	var r Ref
+	switch {
+	case na.level == nb.level:
+		r = m.mk(na.level, m.Union(na.lo, nb.lo), m.Union(na.hi, nb.hi))
+	case na.level < nb.level:
+		r = m.mk(na.level, m.Union(na.lo, b), m.Union(na.hi, b))
+	default:
+		r = m.mk(nb.level, m.Union(a, nb.lo), m.Union(a, nb.hi))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// Intersect returns a ∩ b.
+func (m *Manager) Intersect(a, b Ref) Ref {
+	switch {
+	case a == b:
+		return a
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := opKey{op: opIntersect, a: a, b: b}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	var r Ref
+	switch {
+	case na.level == nb.level:
+		r = m.mk(na.level, m.Intersect(na.lo, nb.lo), m.Intersect(na.hi, nb.hi))
+	case na.level < nb.level:
+		r = m.mk(na.level, m.Intersect(na.lo, b), m.Intersect(na.hi, b))
+	default:
+		r = m.mk(nb.level, m.Intersect(a, nb.lo), m.Intersect(a, nb.hi))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// Diff returns a \ b.
+func (m *Manager) Diff(a, b Ref) Ref {
+	switch {
+	case a == False || b == True:
+		return False
+	case b == False:
+		return a
+	case a == b:
+		return False
+	}
+	key := opKey{op: opDiff, a: a, b: b}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	var r Ref
+	switch {
+	case a == True:
+		// universe minus b at b's level
+		r = m.mk(nb.level, m.Diff(True, nb.lo), m.Diff(True, nb.hi))
+	case na.level == nb.level:
+		r = m.mk(na.level, m.Diff(na.lo, nb.lo), m.Diff(na.hi, nb.hi))
+	case na.level < nb.level:
+		r = m.mk(na.level, m.Diff(na.lo, b), m.Diff(na.hi, b))
+	default:
+		r = m.mk(nb.level, m.Diff(a, nb.lo), m.Diff(a, nb.hi))
+	}
+	m.cache[key] = r
+	return r
+}
+
+// Contains reports whether x ∈ s. Levels absent from the path are
+// don't-care variables, so only the levels present are tested.
+func (m *Manager) Contains(s Ref, x int64) bool {
+	r := s
+	for r > True {
+		n := m.nodes[r]
+		if (x>>uint(int32(m.bits)-1-n.level))&1 == 1 {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// Count returns |s|.
+func (m *Manager) Count(s Ref) uint64 {
+	return m.countAt(s, 0)
+}
+
+func (m *Manager) countAt(s Ref, level int32) uint64 {
+	width := uint(int32(m.bits) - level)
+	if s == False {
+		return 0
+	}
+	if s == True {
+		return 1 << width
+	}
+	n := m.nodes[s]
+	// Scale for skipped levels between `level` and n.level.
+	skipped := uint(n.level - level)
+	if c, ok := m.counts[s]; ok {
+		return c << skipped
+	}
+	c := m.countAt(n.lo, n.level+1) + m.countAt(n.hi, n.level+1)
+	m.counts[s] = c
+	return c << skipped
+}
+
+// Elements appends the members of s to dst in increasing order and
+// returns it. Intended for small sets (tests, reports).
+func (m *Manager) Elements(s Ref, dst []int64) []int64 {
+	var walk func(r Ref, level int32, prefix int64)
+	walk = func(r Ref, level int32, prefix int64) {
+		if r == False {
+			return
+		}
+		if level == int32(m.bits) {
+			dst = append(dst, prefix)
+			return
+		}
+		if r == True {
+			walk(True, level+1, prefix<<1)
+			walk(True, level+1, prefix<<1|1)
+			return
+		}
+		n := m.nodes[r]
+		if n.level > level {
+			walk(r, level+1, prefix<<1)
+			walk(r, level+1, prefix<<1|1)
+			return
+		}
+		walk(n.lo, level+1, prefix<<1)
+		walk(n.hi, level+1, prefix<<1|1)
+	}
+	walk(s, 0, 0)
+	return dst
+}
+
+// NodeSize returns the number of distinct nodes reachable from s
+// (excluding terminals) — the per-set memory figure.
+func (m *Manager) NodeSize(s Ref) int {
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(s)
+	return len(seen)
+}

@@ -1,0 +1,234 @@
+package bdd
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletonContains(t *testing.T) {
+	m := NewManager(10)
+	s := m.Singleton(345)
+	if !m.Contains(s, 345) {
+		t.Fatal("singleton should contain its element")
+	}
+	for _, x := range []int64{0, 1, 344, 346, 1023} {
+		if m.Contains(s, x) {
+			t.Fatalf("singleton contains stray %d", x)
+		}
+	}
+	if m.Count(s) != 1 {
+		t.Fatalf("count = %d", m.Count(s))
+	}
+}
+
+func TestEmptyAndUniverse(t *testing.T) {
+	m := NewManager(8)
+	if m.Count(m.Empty()) != 0 {
+		t.Fatal("empty count")
+	}
+	if m.Count(m.Universe()) != 256 {
+		t.Fatalf("universe count = %d", m.Count(m.Universe()))
+	}
+	if m.Contains(m.Empty(), 3) || !m.Contains(m.Universe(), 3) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestUnionIntersectDiff(t *testing.T) {
+	m := NewManager(8)
+	a := m.Union(m.Singleton(1), m.Union(m.Singleton(2), m.Singleton(3)))
+	b := m.Union(m.Singleton(3), m.Union(m.Singleton(4), m.Singleton(5)))
+	u := m.Union(a, b)
+	if m.Count(u) != 5 {
+		t.Fatalf("union count = %d", m.Count(u))
+	}
+	i := m.Intersect(a, b)
+	if m.Count(i) != 1 || !m.Contains(i, 3) {
+		t.Fatalf("intersect = %v", m.Elements(i, nil))
+	}
+	d := m.Diff(a, b)
+	if got := m.Elements(d, nil); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("diff = %v", got)
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := NewManager(12)
+	// Same set built two ways must be the same handle.
+	a := m.Union(m.Singleton(7), m.Singleton(100))
+	b := m.Union(m.Singleton(100), m.Singleton(7))
+	if a != b {
+		t.Fatal("hash-consing broken: same set, different handles")
+	}
+	c := m.Interval(5, 9)
+	d := m.Union(m.Singleton(5), m.Union(m.Singleton(6),
+		m.Union(m.Singleton(7), m.Union(m.Singleton(8), m.Singleton(9)))))
+	if c != d {
+		t.Fatal("interval and element-wise union differ")
+	}
+}
+
+func TestInterval(t *testing.T) {
+	m := NewManager(10)
+	s := m.Interval(100, 200)
+	if m.Count(s) != 101 {
+		t.Fatalf("count = %d", m.Count(s))
+	}
+	if !m.Contains(s, 100) || !m.Contains(s, 200) || m.Contains(s, 99) || m.Contains(s, 201) {
+		t.Fatal("interval bounds wrong")
+	}
+	if m.Interval(5, 4) != False {
+		t.Fatal("reversed interval should be empty")
+	}
+	full := m.Interval(0, 1023)
+	if full != True {
+		t.Fatal("full interval should be the universe terminal")
+	}
+}
+
+func TestIntervalCompactness(t *testing.T) {
+	m := NewManager(20)
+	// A contiguous run of 10k elements must be tiny; a same-size
+	// scattered set must not be. This is the clustering property the
+	// lineage application exploits.
+	run := m.Interval(100000, 110000)
+	runSize := m.NodeSize(run)
+	if runSize > 4*20 {
+		t.Fatalf("interval BDD has %d nodes, want O(bits)", runSize)
+	}
+	scattered := m.Empty()
+	for i := int64(0); i < 2000; i++ {
+		scattered = m.Union(scattered, m.Singleton(i*397%1000000))
+	}
+	if m.NodeSize(scattered) <= runSize {
+		t.Fatalf("scattered set (%d nodes) should dwarf interval (%d nodes)",
+			m.NodeSize(scattered), runSize)
+	}
+}
+
+func TestElementsSorted(t *testing.T) {
+	m := NewManager(10)
+	want := []int64{3, 17, 18, 19, 512, 1000}
+	s := m.Empty()
+	for _, x := range want {
+		s = m.Union(s, m.Singleton(x))
+	}
+	got := m.Elements(s, nil)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("not sorted: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	m := NewManager(10)
+	mk := func(xs []uint16) Ref {
+		s := m.Empty()
+		for _, x := range xs {
+			s = m.Union(s, m.Singleton(int64(x%1024)))
+		}
+		return s
+	}
+	// Union is commutative, associative, idempotent; De Morgan-ish
+	// identity: (a∪b)\b == a\b; |a∪b| = |a|+|b|-|a∩b|.
+	f := func(xa, xb, xc []uint16) bool {
+		a, b, c := mk(xa), mk(xb), mk(xc)
+		if m.Union(a, b) != m.Union(b, a) {
+			return false
+		}
+		if m.Union(a, m.Union(b, c)) != m.Union(m.Union(a, b), c) {
+			return false
+		}
+		if m.Union(a, a) != a {
+			return false
+		}
+		if m.Diff(m.Union(a, b), b) != m.Diff(a, b) {
+			return false
+		}
+		if m.Count(m.Union(a, b))+m.Count(m.Intersect(a, b)) != m.Count(a)+m.Count(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsMatchesElements(t *testing.T) {
+	m := NewManager(9)
+	f := func(xs []uint16) bool {
+		ref := map[int64]bool{}
+		s := m.Empty()
+		for _, x := range xs {
+			v := int64(x % 512)
+			ref[v] = true
+			s = m.Union(s, m.Singleton(v))
+		}
+		if m.Count(s) != uint64(len(ref)) {
+			return false
+		}
+		for v := int64(0); v < 512; v++ {
+			if m.Contains(s, v) != ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharingAcrossSets(t *testing.T) {
+	m := NewManager(16)
+	base := m.Interval(0, 999)
+	before := m.NumNodes()
+	// 100 sets sharing the same 1000-element base plus one extra
+	// element: overlap should make the marginal cost tiny.
+	for i := int64(0); i < 100; i++ {
+		m.Union(base, m.Singleton(30000+i))
+	}
+	grown := m.NumNodes() - before
+	if grown > 100*3*16 {
+		t.Fatalf("sharing failed: %d nodes added for 100 overlapping sets", grown)
+	}
+}
+
+func TestDiffWithUniverse(t *testing.T) {
+	m := NewManager(8)
+	a := m.Union(m.Singleton(10), m.Singleton(20))
+	comp := m.Diff(m.Universe(), a)
+	if m.Count(comp) != 254 {
+		t.Fatalf("complement count = %d", m.Count(comp))
+	}
+	if m.Contains(comp, 10) || !m.Contains(comp, 11) {
+		t.Fatal("complement membership wrong")
+	}
+	if m.Intersect(comp, a) != False {
+		t.Fatal("complement should be disjoint")
+	}
+}
+
+func BenchmarkUnionClustered(b *testing.B) {
+	m := NewManager(24)
+	sets := make([]Ref, 64)
+	for i := range sets {
+		sets[i] = m.Interval(int64(i*1000), int64(i*1000+800))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := m.Empty()
+		for _, x := range sets {
+			s = m.Union(s, x)
+		}
+	}
+}

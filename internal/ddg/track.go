@@ -1,0 +1,192 @@
+package ddg
+
+import (
+	"scaldift/internal/cdep"
+	"scaldift/internal/isa"
+	"scaldift/internal/shadow"
+	"scaldift/internal/vm"
+)
+
+// Sink consumes the dependence stream the Extractor produces. Node is
+// called once per executed instruction (in per-thread order); Deps is
+// called with that instance's dependences (possibly empty).
+type Sink interface {
+	Node(id ID, pc int32, ev *vm.Event)
+	Deps(id ID, pc int32, deps []Dep)
+}
+
+// tag records the last definition of a location.
+type tag struct {
+	id ID
+	pc int32
+}
+
+// Extractor is a vm.Tool that converts the instruction event stream
+// into dynamic dependences: it shadows every register and memory word
+// with its most recent definer, consults the online control-
+// dependence tracker, and reports (use ← def) edges to a Sink. It is
+// the common front end of both ONTRAC (online, optimized) and the
+// offline full tracer.
+type Extractor struct {
+	prog *isa.Program
+	ctrl *cdep.Tracker
+	sink Sink
+
+	regTags  [][isa.NumRegs]tag
+	memTags  *shadow.Mem[tag]
+	counts   []uint64
+	depBuf   []Dep
+	instrs   uint64
+	trackWAR bool
+	readTags *shadow.Mem[tag] // last reader per word (WAR edges)
+}
+
+// ExtractorOpts configures optional dependence classes.
+type ExtractorOpts struct {
+	// ControlDeps enables dynamic control dependence edges.
+	ControlDeps bool
+	// WARWAW additionally emits write-after-read and write-after-
+	// write edges on memory, the extension that makes slicing usable
+	// for data race detection (§3.1).
+	WARWAW bool
+}
+
+// NewExtractor builds an extractor for prog reporting to sink.
+func NewExtractor(prog *isa.Program, sink Sink, opts ExtractorOpts) *Extractor {
+	e := &Extractor{
+		prog:     prog,
+		sink:     sink,
+		memTags:  shadow.NewMem[tag](),
+		trackWAR: opts.WARWAW,
+	}
+	if opts.ControlDeps {
+		e.ctrl = cdep.New(prog)
+	}
+	if opts.WARWAW {
+		e.readTags = shadow.NewMem[tag]()
+	}
+	return e
+}
+
+// Instrs returns the number of instructions observed (the denominator
+// of bytes-per-instruction).
+func (e *Extractor) Instrs() uint64 { return e.instrs }
+
+// LastID returns the id of the most recent instruction of a thread.
+func (e *Extractor) LastID(tid int) ID {
+	if tid >= len(e.counts) {
+		return 0
+	}
+	return MakeID(tid, e.counts[tid])
+}
+
+func (e *Extractor) grow(tid int) {
+	for tid >= len(e.counts) {
+		e.counts = append(e.counts, 0)
+		e.regTags = append(e.regTags, [isa.NumRegs]tag{})
+	}
+}
+
+// OnEvent implements vm.Tool.
+func (e *Extractor) OnEvent(m *vm.Machine, ev *vm.Event) {
+	if ev.Blocked {
+		return
+	}
+	e.instrs++
+	tid := ev.TID
+	e.grow(tid)
+	e.counts[tid]++
+	n := e.counts[tid]
+	id := MakeID(tid, n)
+	pc := int32(ev.PC)
+	regs := &e.regTags[tid]
+
+	var parent cdep.Parent
+	if e.ctrl != nil {
+		parent = e.ctrl.Observe(tid, ev.PC, n, ev.Instr.Op, ev.Taken)
+	}
+	e.sink.Node(id, pc, ev)
+
+	deps := e.depBuf[:0]
+	seen := [2]int{-1, -1}
+	for i := 0; i < ev.NSrc; i++ {
+		r := ev.SrcRegs[i]
+		if r == seen[0] || r == seen[1] {
+			continue // same register twice: one edge
+		}
+		seen[i] = r
+		if tg := regs[r]; tg.id != 0 {
+			deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: Data})
+		}
+	}
+	if ev.SrcMem != vm.NoAddr {
+		if tg := e.memTags.Get(ev.SrcMem); tg.id != 0 {
+			deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: Data})
+		}
+		if e.trackWAR {
+			e.readTags.Set(ev.SrcMem, tag{id: id, pc: pc})
+		}
+	}
+	if parent.N != 0 {
+		deps = append(deps, Dep{Use: id, UsePC: pc,
+			Def: MakeID(tid, parent.N), DefPC: parent.PC, Kind: Control})
+	}
+	if ev.DstMem != vm.NoAddr {
+		if e.trackWAR {
+			if tg := e.memTags.Get(ev.DstMem); tg.id != 0 {
+				deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: WAW})
+			}
+			if tg := e.readTags.Get(ev.DstMem); tg.id != 0 && tg.id != id {
+				deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: WAR})
+			}
+		}
+		e.memTags.Set(ev.DstMem, tag{id: id, pc: pc})
+	}
+	if ev.DstReg > 0 { // r0 is the discard register
+		regs[ev.DstReg] = tag{id: id, pc: pc}
+	}
+	if ev.Kind == vm.EvSpawn {
+		// The child's r1 receives the argument: its definition site
+		// is this spawn instance.
+		child := int(ev.DstVal)
+		e.grow(child)
+		e.regTags[child][1] = tag{id: id, pc: pc}
+	}
+
+	e.sink.Deps(id, pc, deps)
+	e.depBuf = deps[:0]
+}
+
+// Reset clears all shadow state (between runs on one machine).
+func (e *Extractor) Reset() {
+	e.regTags = nil
+	e.counts = nil
+	e.memTags.Clear()
+	if e.readTags != nil {
+		e.readTags.Clear()
+	}
+	if e.ctrl != nil {
+		e.ctrl.Reset()
+	}
+	e.instrs = 0
+}
+
+var _ vm.Tool = (*Extractor)(nil)
+
+// FullSink builds a Full graph from the extractor stream.
+type FullSink struct {
+	G *Full
+}
+
+// NewFullSink wraps an empty Full graph.
+func NewFullSink() *FullSink { return &FullSink{G: NewFull()} }
+
+// Node implements Sink.
+func (s *FullSink) Node(id ID, pc int32, _ *vm.Event) { s.G.AddNode(id, pc) }
+
+// Deps implements Sink.
+func (s *FullSink) Deps(_ ID, _ int32, deps []Dep) {
+	for _, d := range deps {
+		s.G.AddDep(d)
+	}
+}

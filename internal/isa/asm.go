@@ -1,0 +1,292 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text into a Program.
+//
+// Syntax, one item per line:
+//
+//	; comment                 (also # comment)
+//	label:
+//	.func name                begin a function section
+//	.endfunc                  end it
+//	.data 1, 2, 3             append words to the data segment
+//	.reserve 16               append 16 zero words
+//	.equ NAME value           define an assemble-time constant
+//	op operands               e.g.  add r3, r1, r2
+//	                                load r4, r2, 8
+//	                                beq r1, r2, loop
+//	                                movi r5, 42
+//
+// Operand order is uniform: Rd, then Rs1, then Rs2, then immediate,
+// then label, including for memory ops — so a store is written
+// "store base, value, offset" and a barrier "barrier base, count,
+// offset". Numeric immediates may be decimal or 0x-hex and may name a
+// .equ constant.
+func Assemble(name, text string) (*Program, error) {
+	a := &assembler{
+		b:      NewBuilder(name),
+		consts: make(map[string]int64),
+	}
+	lines := strings.Split(text, "\n")
+	for ln, raw := range lines {
+		if err := a.line(ln+1, raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+	}
+	p, err := a.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.Source = lines
+	// Builder assigned sequential statement ids; replace with real
+	// source line numbers recorded during parsing.
+	for i := range p.Instrs {
+		p.Instrs[i].Line = a.srcLines[i]
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for constant program
+// text in workloads and tests.
+func MustAssemble(name, text string) *Program {
+	p, err := Assemble(name, text)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b        *Builder
+	consts   map[string]int64
+	srcLines []int
+}
+
+func (a *assembler) line(ln int, raw string) error {
+	s := raw
+	if i := strings.IndexAny(s, ";#"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Labels, possibly followed by an instruction on the same line.
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		lbl := strings.TrimSpace(s[:i])
+		if !isIdent(lbl) {
+			return fmt.Errorf("invalid label %q", lbl)
+		}
+		a.b.Label(lbl)
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return a.b.err
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(s)
+	}
+	return a.instr(ln, s)
+}
+
+func (a *assembler) directive(s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".func":
+		if len(fields) != 2 {
+			return fmt.Errorf(".func wants a name")
+		}
+		a.b.Func(fields[1])
+		return a.b.err
+	case ".endfunc":
+		a.b.EndFunc()
+		return a.b.err
+	case ".data":
+		rest := strings.TrimSpace(strings.TrimPrefix(s, ".data"))
+		for _, tok := range splitOperands(rest) {
+			v, err := a.imm(tok)
+			if err != nil {
+				return err
+			}
+			a.b.Data(v)
+		}
+		return nil
+	case ".reserve":
+		if len(fields) != 2 {
+			return fmt.Errorf(".reserve wants a count")
+		}
+		n, err := a.imm(fields[1])
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf(".reserve count must be >= 0")
+		}
+		a.b.Reserve(int(n))
+		return nil
+	case ".equ":
+		if len(fields) != 3 {
+			return fmt.Errorf(".equ wants NAME VALUE")
+		}
+		v, err := a.imm(fields[2])
+		if err != nil {
+			return err
+		}
+		a.consts[fields[1]] = v
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+func (a *assembler) instr(ln int, s string) error {
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	op, ok := OpByName(strings.ToLower(mnemonic))
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	operands := splitOperands(rest)
+	ins := Instr{Op: op}
+	want := 0
+	next := func() (string, error) {
+		if want >= len(operands) {
+			return "", fmt.Errorf("%s: missing operand %d", op, want+1)
+		}
+		tok := operands[want]
+		want++
+		return tok, nil
+	}
+	var label string
+	info := opTable[op]
+	if info.writesRd {
+		tok, err := next()
+		if err != nil {
+			return err
+		}
+		r, err := a.reg(tok)
+		if err != nil {
+			return err
+		}
+		ins.Rd = r
+	}
+	if info.readsR1 {
+		tok, err := next()
+		if err != nil {
+			return err
+		}
+		r, err := a.reg(tok)
+		if err != nil {
+			return err
+		}
+		ins.Rs1 = r
+	}
+	if info.readsR2 {
+		tok, err := next()
+		if err != nil {
+			return err
+		}
+		r, err := a.reg(tok)
+		if err != nil {
+			return err
+		}
+		ins.Rs2 = r
+	}
+	if info.hasImm {
+		tok, err := next()
+		if err != nil {
+			return err
+		}
+		v, err := a.imm(tok)
+		if err != nil {
+			return err
+		}
+		ins.Imm = v
+	}
+	if info.hasTgt {
+		tok, err := next()
+		if err != nil {
+			return err
+		}
+		if !isIdent(tok) {
+			return fmt.Errorf("%s: invalid target label %q", op, tok)
+		}
+		label = tok
+	}
+	if want != len(operands) {
+		return fmt.Errorf("%s: too many operands (%d given)", op, len(operands))
+	}
+	if label != "" {
+		a.b.emitTo(ins, label)
+	} else {
+		a.b.emit(ins)
+	}
+	a.srcLines = append(a.srcLines, ln)
+	return nil
+}
+
+func (a *assembler) reg(tok string) (uint8, error) {
+	if len(tok) < 2 || (tok[0] != 'r' && tok[0] != 'R') {
+		return 0, fmt.Errorf("invalid register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("invalid register %q", tok)
+	}
+	return uint8(n), nil
+}
+
+func (a *assembler) imm(tok string) (int64, error) {
+	if v, ok := a.consts[tok]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid immediate %q", tok)
+	}
+	return v, nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		for _, f := range strings.Fields(p) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

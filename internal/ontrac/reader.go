@@ -1,0 +1,76 @@
+package ontrac
+
+import "scaldift/internal/ddg"
+
+// Reader adapts the circular buffer into a ddg.Source for slicing,
+// re-synthesizing the edges O1 and O2 elided. Because fully elided
+// instances have no record at all, reconstruction needs the node's
+// static PC from the traversal context; DepsOfHinted supplies it (the
+// slicer learns each def's PC from the incoming edge).
+type Reader struct {
+	t *Tracer
+}
+
+// Reader returns the reconstructing view of the tracer's buffer.
+func (t *Tracer) Reader() *Reader { return &Reader{t: t} }
+
+// Threads implements ddg.Source.
+func (r *Reader) Threads() []int { return r.t.buf.Threads() }
+
+// Window implements ddg.Source.
+func (r *Reader) Window(tid int) (uint64, uint64) { return r.t.buf.Window(tid) }
+
+// NodePC implements ddg.Source.
+func (r *Reader) NodePC(id ddg.ID) (int32, bool) { return r.t.buf.NodePC(id) }
+
+// DepsOf implements ddg.Source using the stored PC when available.
+func (r *Reader) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
+	pc, ok := r.t.buf.NodePC(id)
+	if !ok {
+		pc = -1
+	}
+	r.DepsOfHinted(id, pc, yield)
+}
+
+// DepsOfHinted yields the stored dependences of id plus the O1/O2
+// reconstructions valid for an instance of static instruction pcHint
+// (-1: unknown, reconstruct nothing).
+func (r *Reader) DepsOfHinted(id ddg.ID, pcHint int32, yield func(ddg.Dep)) {
+	r.t.buf.DepsOf(id, yield)
+	if pcHint < 0 {
+		return
+	}
+	n := id.N()
+	// O1: in-block static dependences always hold when use and def
+	// are id-distance usePC-defPC apart.
+	if r.t.staticByUse != nil {
+		for _, sd := range r.t.staticByUse[pcHint] {
+			dist := uint64(sd.Use - sd.Def)
+			if dist == 0 || dist >= n {
+				continue
+			}
+			yield(ddg.Dep{
+				Use: id, UsePC: pcHint,
+				Def:   ddg.MakeID(id.TID(), n-dist),
+				DefPC: int32(sd.Def),
+				Kind:  ddg.Data,
+			})
+		}
+	}
+	// O2: learned patterns for this use site. These may slightly
+	// over-approximate (a deviating instance stored its true edge and
+	// also matches the pattern), which only ever grows the slice.
+	for _, k := range r.t.dictByUse[pcHint] {
+		if k.delta >= n {
+			continue
+		}
+		yield(ddg.Dep{
+			Use: id, UsePC: pcHint,
+			Def:   ddg.MakeID(id.TID(), n-k.delta),
+			DefPC: k.defPC,
+			Kind:  k.kind,
+		})
+	}
+}
+
+var _ ddg.Source = (*Reader)(nil)

@@ -1,0 +1,518 @@
+package prog
+
+import (
+	"fmt"
+
+	"scaldift/internal/isa"
+	"scaldift/internal/vm"
+)
+
+// SPEC-CPU-2000-like kernels: CPU-bound, input-driven control flow,
+// register and memory traffic. Each constructor takes a scale knob
+// and returns a self-checking workload.
+
+// Compress is an RLE encoder (gzip stand-in): input n then n words,
+// output (value, runlength) pairs.
+func Compress(n int, seed uint64) *Workload {
+	p := isa.MustAssemble("compress", `
+    in r1, 0          ; n
+    movi r2, 0        ; i
+    movi r3, -1       ; previous value
+    movi r4, 0        ; run length
+loop:
+    bge r2, r1, done
+    in r5, 0
+    beq r5, r3, same
+    beqz r4, skipemit
+    out r3, 1
+    out r4, 1
+skipemit:
+    mov r3, r5
+    movi r4, 1
+    addi r2, r2, 1
+    br loop
+same:
+    addi r4, r4, 1
+    addi r2, r2, 1
+    br loop
+done:
+    beqz r4, end
+    out r3, 1
+    out r4, 1
+end:
+    halt
+`)
+	r := newRng(seed)
+	in := []int64{int64(n)}
+	var want []int64
+	prev, run := int64(-1), int64(0)
+	for i := 0; i < n; i++ {
+		var v int64
+		if i > 0 && r.intn(3) != 0 {
+			v = prev // make runs common
+		} else {
+			v = r.intn(8)
+		}
+		in = append(in, v)
+		if v == prev {
+			run++
+		} else {
+			if run > 0 {
+				want = append(want, prev, run)
+			}
+			prev, run = v, 1
+		}
+	}
+	if run > 0 {
+		want = append(want, prev, run)
+	}
+	return &Workload{
+		Name:   "compress",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Check:  expectOut(want),
+	}
+}
+
+// Parser evaluates a stream of (value, op) tokens with + and *
+// (parser/gcc stand-in: input-dependent branching).
+func Parser(terms int, seed uint64) *Workload {
+	p := isa.MustAssemble("parser", `
+    in r3, 0           ; first value -> current term
+    movi r2, 0         ; total
+ploop:
+    in r4, 0           ; op: 0 end, 1 plus, 2 times
+    beqz r4, pdone
+    in r5, 0
+    movi r6, 2
+    beq r4, r6, ptimes
+    add r2, r2, r3
+    mov r3, r5
+    br ploop
+ptimes:
+    mul r3, r3, r5
+    br ploop
+pdone:
+    add r2, r2, r3
+    out r2, 1
+    halt
+`)
+	r := newRng(seed)
+	first := r.intn(9) + 1
+	in := []int64{first}
+	total, term := int64(0), first
+	for i := 0; i < terms; i++ {
+		op := r.intn(2) + 1
+		v := r.intn(9) + 1
+		in = append(in, op, v)
+		if op == 2 {
+			term *= v
+		} else {
+			total += term
+			term = v
+		}
+	}
+	in = append(in, 0)
+	total += term
+	return &Workload{
+		Name:   "parser",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Check:  expectOut([]int64{total}),
+	}
+}
+
+// MatMul multiplies two n×n matrices read from input and outputs a
+// checksum of the product (vpr/art stand-in: regular memory traffic).
+func MatMul(n int, seed uint64) *Workload {
+	p := isa.MustAssemble("matmul", `
+    in r1, 0           ; n
+    mul r2, r1, r1     ; n*n
+    alloc r10, r2      ; A
+    alloc r11, r2      ; B
+    alloc r12, r2      ; C
+    ; read A then B
+    movi r3, 0
+reada:
+    bge r3, r2, readb0
+    in r4, 0
+    add r5, r10, r3
+    store r5, r4, 0
+    addi r3, r3, 1
+    br reada
+readb0:
+    movi r3, 0
+readb:
+    bge r3, r2, mul0
+    in r4, 0
+    add r5, r11, r3
+    store r5, r4, 0
+    addi r3, r3, 1
+    br readb
+mul0:
+    movi r20, 0        ; i
+iloop:
+    bge r20, r1, sum0
+    movi r21, 0        ; j
+jloop:
+    bge r21, r1, inext
+    movi r22, 0        ; k
+    movi r23, 0        ; acc
+kloop:
+    bge r22, r1, kdone
+    mul r6, r20, r1
+    add r6, r6, r22
+    add r6, r6, r10
+    load r7, r6, 0     ; A[i][k]
+    mul r6, r22, r1
+    add r6, r6, r21
+    add r6, r6, r11
+    load r8, r6, 0     ; B[k][j]
+    mul r7, r7, r8
+    add r23, r23, r7
+    addi r22, r22, 1
+    br kloop
+kdone:
+    mul r6, r20, r1
+    add r6, r6, r21
+    add r6, r6, r12
+    store r6, r23, 0
+    addi r21, r21, 1
+    br jloop
+inext:
+    addi r20, r20, 1
+    br iloop
+sum0:
+    ; checksum C
+    movi r3, 0
+    movi r4, 0
+csum:
+    bge r3, r2, emit
+    add r5, r12, r3
+    load r6, r5, 0
+    xor r4, r4, r6
+    add r4, r4, r6
+    addi r3, r3, 1
+    br csum
+emit:
+    out r4, 1
+    halt
+`)
+	r := newRng(seed)
+	in := []int64{int64(n)}
+	a := make([]int64, n*n)
+	b := make([]int64, n*n)
+	for i := range a {
+		a[i] = r.intn(10)
+		in = append(in, a[i])
+	}
+	for i := range b {
+		b[i] = r.intn(10)
+		in = append(in, b[i])
+	}
+	// Reference product checksum.
+	var sum int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			sum = (sum ^ acc) + acc
+		}
+	}
+	return &Workload{
+		Name:   "matmul",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Check:  expectOut([]int64{sum}),
+	}
+}
+
+// Sort bubble-sorts n input words in heap memory and outputs the
+// sorted sequence's checksum (mcf stand-in: pointer-ish traffic,
+// data-dependent swaps).
+func Sort(n int, seed uint64) *Workload {
+	p := isa.MustAssemble("sort", `
+    in r1, 0           ; n
+    alloc r10, r1
+    movi r3, 0
+read:
+    bge r3, r1, sort0
+    in r4, 0
+    add r5, r10, r3
+    store r5, r4, 0
+    addi r3, r3, 1
+    br read
+sort0:
+    addi r20, r1, -1   ; limit
+outer:
+    beqz r20, emit0
+    movi r21, 0        ; j
+inner:
+    bge r21, r20, onext
+    add r5, r10, r21
+    load r6, r5, 0
+    load r7, r5, 1
+    bge r7, r6, noswap
+    store r5, r7, 0
+    store r5, r6, 1
+noswap:
+    addi r21, r21, 1
+    br inner
+onext:
+    addi r20, r20, -1
+    br outer
+emit0:
+    movi r3, 0
+    movi r4, 0
+emit:
+    bge r3, r1, fin
+    add r5, r10, r3
+    load r6, r5, 0
+    muli r4, r4, 31
+    add r4, r4, r6
+    addi r3, r3, 1
+    br emit
+fin:
+    out r4, 1
+    halt
+`)
+	r := newRng(seed)
+	in := []int64{int64(n)}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = r.intn(1000)
+		in = append(in, vals[i])
+	}
+	// Reference: sorted checksum.
+	sorted := append([]int64(nil), vals...)
+	for i := len(sorted) - 1; i > 0; i-- {
+		for j := 0; j < i; j++ {
+			if sorted[j] > sorted[j+1] {
+				sorted[j], sorted[j+1] = sorted[j+1], sorted[j]
+			}
+		}
+	}
+	var sum int64
+	for _, v := range sorted {
+		sum = sum*31 + v
+	}
+	return &Workload{
+		Name:   "sort",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Check:  expectOut([]int64{sum}),
+	}
+}
+
+// HashJoin builds an open-addressing hash table from (key,value)
+// pairs and probes it (gap/db stand-in: irregular memory access).
+func HashJoin(nBuild, nProbe int, seed uint64) *Workload {
+	const tableSize = 1 << 12 // two words per slot: key+1, value
+	p := isa.MustAssemble("hashjoin", fmt.Sprintf(`
+.equ TSZ %d
+    movi r1, TSZ
+    muli r2, r1, 2
+    alloc r10, r2      ; table
+    in r11, 0          ; nBuild
+    movi r3, 0
+build:
+    bge r3, r11, probe0
+    in r4, 0           ; key
+    in r5, 0           ; value
+    ; h = (key*2654435761) & (TSZ-1)
+    movi r6, 2654435761
+    mul r6, r4, r6
+    movi r7, TSZ
+    addi r7, r7, -1
+    and r6, r6, r7
+bslot:
+    muli r8, r6, 2
+    add r8, r8, r10
+    load r9, r8, 0
+    beqz r9, binsert
+    ; collision: linear probe
+    addi r6, r6, 1
+    and r6, r6, r7
+    br bslot
+binsert:
+    addi r9, r4, 1
+    store r8, r9, 0
+    store r8, r5, 1
+    addi r3, r3, 1
+    br build
+probe0:
+    in r11, 0          ; nProbe
+    movi r3, 0
+    movi r12, 0        ; sum of matches
+probe:
+    bge r3, r11, fin
+    in r4, 0           ; key
+    movi r6, 2654435761
+    mul r6, r4, r6
+    movi r7, TSZ
+    addi r7, r7, -1
+    and r6, r6, r7
+pslot:
+    muli r8, r6, 2
+    add r8, r8, r10
+    load r9, r8, 0
+    beqz r9, pmiss
+    addi r5, r4, 1
+    beq r9, r5, phit
+    addi r6, r6, 1
+    and r6, r6, r7
+    br pslot
+phit:
+    load r9, r8, 1
+    add r12, r12, r9
+pmiss:
+    addi r3, r3, 1
+    br probe
+fin:
+    out r12, 1
+    halt
+`, tableSize))
+	r := newRng(seed)
+	in := []int64{int64(nBuild)}
+	table := map[int64]int64{}
+	for i := 0; i < nBuild; i++ {
+		k := r.intn(int64(nBuild) * 4)
+		for {
+			if _, dup := table[k]; !dup {
+				break
+			}
+			k = r.intn(int64(nBuild) * 4)
+		}
+		v := r.intn(100)
+		table[k] = v
+		in = append(in, k, v)
+	}
+	in = append(in, int64(nProbe))
+	var sum int64
+	for i := 0; i < nProbe; i++ {
+		k := r.intn(int64(nBuild) * 4)
+		in = append(in, k)
+		if v, ok := table[k]; ok {
+			sum += v
+		}
+	}
+	return &Workload{
+		Name:   "hashjoin",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Cfg:    vm.Config{MemWords: 1 << 20},
+		Check:  expectOut([]int64{sum}),
+	}
+}
+
+// Sieve counts primes below n (crafty/eon stand-in: tight loops over
+// a bit-less array).
+func Sieve(n int) *Workload {
+	p := isa.MustAssemble("sieve", `
+    in r1, 0           ; n
+    alloc r10, r1      ; composite flags
+    movi r2, 2         ; i
+mark:
+    mul r3, r2, r2
+    bge r3, r1, count0
+    add r4, r10, r2
+    load r5, r4, 0
+    bnez r5, inext
+    ; mark multiples starting i*i
+mloop:
+    bge r3, r1, inext
+    add r4, r10, r3
+    movi r5, 1
+    store r4, r5, 0
+    add r3, r3, r2
+    br mloop
+inext:
+    addi r2, r2, 1
+    br mark
+count0:
+    movi r2, 2
+    movi r6, 0
+cloop:
+    bge r2, r1, fin
+    add r4, r10, r2
+    load r5, r4, 0
+    bnez r5, cnext
+    addi r6, r6, 1
+cnext:
+    addi r2, r2, 1
+    br cloop
+fin:
+    out r6, 1
+    halt
+`)
+	count := int64(0)
+	comp := make([]bool, n)
+	for i := 2; i < n; i++ {
+		if !comp[i] {
+			count++
+			for j := i * i; j < n; j += i {
+				comp[j] = true
+			}
+		}
+	}
+	return &Workload{
+		Name:   "sieve",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: {int64(n)}},
+		Check:  expectOut([]int64{count}),
+	}
+}
+
+// Bitops runs an iterated mixing function over a seed (bzip2/crc
+// stand-in: long ALU chains, no memory).
+func Bitops(iters int, seed uint64) *Workload {
+	p := isa.MustAssemble("bitops", `
+    in r1, 0           ; iters
+    in r2, 0           ; x
+    movi r3, 0         ; i
+    movi r10, 2862933555777941757
+    movi r11, 3037000493
+loop:
+    bge r3, r1, fin
+    mul r2, r2, r10
+    add r2, r2, r11
+    movi r4, 29
+    shr r5, r2, r4
+    xor r2, r2, r5
+    addi r3, r3, 1
+    br loop
+fin:
+    out r2, 1
+    halt
+`)
+	x := int64(seed)
+	for i := 0; i < iters; i++ {
+		x = x*2862933555777941757 + 3037000493
+		x ^= int64(uint64(x) >> 29)
+	}
+	return &Workload{
+		Name:   "bitops",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: {int64(iters), int64(seed)}},
+		Check:  expectOut([]int64{x}),
+	}
+}
+
+// SpecSuite returns the SPEC-like kernels at a common scale knob
+// (roughly proportional dynamic instruction counts).
+func SpecSuite(scale int) []*Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	return []*Workload{
+		Compress(scale*400, 1),
+		Parser(scale*150, 2),
+		MatMul(4+scale, 3),
+		Sort(scale*12, 4),
+		HashJoin(scale*40, scale*80, 5),
+		Sieve(scale * 300),
+		Bitops(scale*500, 6),
+	}
+}

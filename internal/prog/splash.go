@@ -1,0 +1,395 @@
+package prog
+
+import (
+	"fmt"
+
+	"scaldift/internal/isa"
+	"scaldift/internal/vm"
+)
+
+// SPLASH-2-like parallel kernels: shared-memory workers using the
+// synchronization idioms (barriers, locks, flag/spin sync) whose
+// interaction with transactional monitoring §2.2 studies.
+
+// PSum splits an array across nThreads workers that sum their bands,
+// synchronize on a barrier, and thread 0 reduces (fft/radix-style
+// phase structure).
+//
+// Data layout: [0]=lock, [1..2]=barrier, [3]=n, [4..4+T)=partials,
+// array follows.
+func PSum(nThreads, n int, seed uint64) *Workload {
+	if nThreads < 1 || nThreads > 8 {
+		panic("prog: PSum wants 1..8 threads")
+	}
+	text := fmt.Sprintf(`
+.equ T %d
+.reserve 16           ; 0 lock, 1..2 barrier, 3 n, 4..11 partials
+    in r1, 0          ; n
+    movi r2, 3
+    store r2, r1, 0   ; save n
+    alloc r10, r1     ; array
+    movi r3, 0
+read:
+    bge r3, r1, spawn0
+    in r4, 0
+    add r5, r10, r3
+    store r5, r4, 0
+    addi r3, r3, 1
+    br read
+spawn0:
+    ; pack (tid<<32)|arraybase as arg? registers are easier: store
+    ; the base at a known slot.
+    movi r2, 12
+    store r2, r10, 0  ; array base at word 12
+    movi r20, 1       ; worker index
+spawnloop:
+    movi r21, T
+    bge r20, r21, work0
+    spawn r22, r20, worker
+    addi r20, r20, 1
+    br spawnloop
+work0:
+    movi r1, 0        ; main is worker 0
+    call work
+    ; after barrier, reduce partials
+    movi r3, 0
+    movi r4, 0
+red:
+    movi r5, T
+    bge r3, r5, fin
+    addi r6, r3, 4
+    load r7, r6, 0
+    add r4, r4, r7
+    addi r3, r3, 1
+    br red
+fin:
+    out r4, 1
+    halt
+worker:
+    call work
+    halt
+.func work
+    ; r1 = worker index; band = [idx*n/T, (idx+1)*n/T)
+    movi r2, 3
+    load r3, r2, 0    ; n
+    movi r4, T
+    mul r5, r1, r3
+    div r5, r5, r4    ; lo
+    addi r6, r1, 1
+    mul r6, r6, r3
+    div r6, r6, r4    ; hi
+    movi r7, 12
+    load r8, r7, 0    ; array base
+    movi r9, 0        ; acc
+wloop:
+    bge r5, r6, wdone
+    add r10, r8, r5
+    load r11, r10, 0
+    add r9, r9, r11
+    addi r5, r5, 1
+    br wloop
+wdone:
+    addi r12, r1, 4
+    store r12, r9, 0  ; partials[idx]
+    movi r13, 1
+    movi r14, T
+    barrier r13, r14, 0
+    ret
+.endfunc
+`, nThreads)
+	p := isa.MustAssemble("psum", text)
+	r := newRng(seed)
+	in := []int64{int64(n)}
+	var sum int64
+	for i := 0; i < n; i++ {
+		v := r.intn(100)
+		in = append(in, v)
+		sum += v
+	}
+	return &Workload{
+		Name:   "psum",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Cfg:    vm.Config{Quantum: 20, RandomPreempt: true},
+		Check:  expectOut([]int64{sum}),
+	}
+}
+
+// LockCounter has workers hammer shared counters under a lock
+// (radiosity-style contention).
+//
+// Layout: [0]=lock, [1]=counter, [2]=iters.
+func LockCounter(nThreads, iters int) *Workload {
+	text := fmt.Sprintf(`
+.equ T %d
+.equ ITERS %d
+.reserve 4
+    movi r2, 2
+    movi r3, ITERS
+    store r2, r3, 0
+    movi r20, 1
+spawnloop:
+    movi r21, T
+    bge r20, r21, work0
+    spawn r22, r20, worker
+    addi r20, r20, 1
+    br spawnloop
+work0:
+    call work
+    ; wait for T-1 children: counter reaches T*ITERS
+wait:
+    load r4, r0, 1
+    movi r5, T
+    muli r6, r5, ITERS
+    blt r4, r6, wait
+    out r4, 1
+    halt
+worker:
+    call work
+    halt
+.func work
+    movi r3, 0
+wloop:
+    movi r4, ITERS
+    bge r3, r4, wdone
+    lock r0, 0
+    load r5, r0, 1
+    addi r5, r5, 1
+    store r0, r5, 1
+    unlock r0, 0
+    addi r3, r3, 1
+    br wloop
+wdone:
+    ret
+.endfunc
+`, nThreads, iters)
+	p := isa.MustAssemble("lockcounter", text)
+	return &Workload{
+		Name:   "lockcounter",
+		Prog:   p,
+		Inputs: map[int][]int64{},
+		Cfg:    vm.Config{Quantum: 7, RandomPreempt: true},
+		Check:  expectOut([]int64{int64(nThreads * iters)}),
+	}
+}
+
+// FlagPipeline is a producer→consumer chain using flag (spin)
+// synchronization: stage i waits for stage i-1's flag, transforms the
+// value, publishes its own flag (ocean-style neighbor sync).
+//
+// Layout: [0..T) flags, [T..2T) values.
+func FlagPipeline(nStages, rounds int, seed uint64) *Workload {
+	text := fmt.Sprintf(`
+.equ T %d
+.equ R %d
+.reserve 32            ; flags 0..T-1, values T..2T-1
+    ; spawn stages 1..T-1; main is stage 0 (the producer)
+    movi r20, 1
+spawnloop:
+    movi r21, T
+    bge r20, r21, produce0
+    spawn r22, r20, stage
+    addi r20, r20, 1
+    br spawnloop
+produce0:
+    movi r9, 0         ; round
+prod:
+    movi r10, R
+    bge r9, r10, pdone
+    in r4, 0
+    movi r5, T
+    store r5, r4, 0    ; values[0] = input
+    flagset r0, 0      ; publish
+    ; wait for the last stage to consume (its flag)
+    addi r6, r0, T
+    addi r6, r6, -1    ; flag T-1 address base r0.. compute flag idx T-1
+    flagwt r6, 0
+    flagclr r6, 0
+    ; read final value
+    movi r7, T
+    muli r8, r7, 2
+    addi r8, r8, -1
+    load r11, r8, 0
+    out r11, 1
+    addi r9, r9, 1
+    br prod
+pdone:
+    halt
+stage:
+    ; r1 = stage index i in [1,T)
+    movi r9, 0
+sloop:
+    movi r10, R
+    bge r9, r10, sdone
+    addi r2, r1, -1    ; wait for flag i-1
+    flagwt r2, 0
+    flagclr r2, 0
+    ; value[i] = value[i-1] * 2 + i
+    addi r3, r1, T
+    load r4, r3, -1
+    muli r4, r4, 2
+    add r4, r4, r1
+    store r3, r4, 0
+    flagset r1, 0      ; publish flag i
+    addi r9, r9, 1
+    br sloop
+sdone:
+    halt
+`, nStages, rounds)
+	p := isa.MustAssemble("flagpipeline", text)
+	r := newRng(seed)
+	var in, want []int64
+	for round := 0; round < rounds; round++ {
+		v := r.intn(50)
+		in = append(in, v)
+		x := v
+		for i := 1; i < nStages; i++ {
+			x = x*2 + int64(i)
+		}
+		want = append(want, x)
+	}
+	return &Workload{
+		Name:   "flagpipeline",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Cfg:    vm.Config{Quantum: 5, RandomPreempt: true},
+		Check:  expectOut(want),
+	}
+}
+
+// BarrierPhases runs nThreads workers through multiple barrier-
+// separated phases over a shared array, each phase reading what the
+// previous phase wrote (lu/barnes-style supersteps).
+//
+// Layout: [0..1]=barrier, [2]=n, [3]=base, array follows.
+func BarrierPhases(nThreads, n, phases int, seed uint64) *Workload {
+	text := fmt.Sprintf(`
+.equ T %d
+.equ P %d
+.reserve 8
+    in r1, 0
+    movi r2, 2
+    store r2, r1, 0    ; n
+    alloc r10, r1
+    movi r2, 3
+    store r2, r10, 0   ; base
+    movi r3, 0
+read:
+    bge r3, r1, spawn0
+    in r4, 0
+    add r5, r10, r3
+    store r5, r4, 0
+    addi r3, r3, 1
+    br read
+spawn0:
+    movi r20, 1
+spawnloop:
+    movi r21, T
+    bge r20, r21, work0
+    spawn r22, r20, worker
+    addi r20, r20, 1
+    br spawnloop
+work0:
+    movi r1, 0
+    call work
+    ; checksum
+    movi r2, 2
+    load r1, r2, 0
+    movi r3, 3
+    load r10, r3, 0
+    movi r3, 0
+    movi r4, 0
+csum:
+    bge r3, r1, fin
+    add r5, r10, r3
+    load r6, r5, 0
+    muli r4, r4, 31
+    add r4, r4, r6
+    addi r3, r3, 1
+    br csum
+fin:
+    out r4, 1
+    halt
+worker:
+    call work
+    halt
+.func work
+    ; r1 = worker idx
+    movi r15, 0        ; phase
+phase:
+    movi r16, P
+    bge r15, r16, pdone
+    movi r2, 2
+    load r3, r2, 0     ; n
+    movi r2, 3
+    load r10, r2, 0    ; base
+    ; band
+    movi r4, T
+    mul r5, r1, r3
+    div r5, r5, r4
+    addi r6, r1, 1
+    mul r6, r6, r3
+    div r6, r6, r4
+bloop:
+    bge r5, r6, bdone
+    add r7, r10, r5
+    load r8, r7, 0
+    muli r8, r8, 3
+    addi r8, r8, 1
+    store r7, r8, 0
+    addi r5, r5, 1
+    br bloop
+bdone:
+    movi r9, T
+    barrier r0, r9, 0
+    addi r15, r15, 1
+    br phase
+pdone:
+    ret
+.endfunc
+`, nThreads, phases)
+	p := isa.MustAssemble("barrierphases", text)
+	r := newRng(seed)
+	in := []int64{int64(n)}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = r.intn(20)
+		in = append(in, vals[i])
+	}
+	for ph := 0; ph < phases; ph++ {
+		for i := range vals {
+			vals[i] = vals[i]*3 + 1
+		}
+	}
+	var sum int64
+	for _, v := range vals {
+		sum = sum*31 + v
+	}
+	return &Workload{
+		Name:   "barrierphases",
+		Prog:   p,
+		Inputs: map[int][]int64{ChIn: in},
+		Cfg:    vm.Config{Quantum: 15, RandomPreempt: true},
+		Check:  expectOut([]int64{sum}),
+	}
+}
+
+// SplashSuite returns the parallel kernels at a common scale.
+func SplashSuite(nThreads, scale int) []*Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	return []*Workload{
+		PSum(nThreads, scale*200, 11),
+		LockCounter(nThreads, scale*60),
+		FlagPipeline(min(nThreads, 6), scale*20, 13),
+		BarrierPhases(nThreads, scale*100, 4, 14),
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+// Package slicing computes dynamic slices over dynamic dependence
+// graphs (§2.1, §3.1): the backward closure of data (and optionally
+// control) dependences from a slicing criterion, reported as a set of
+// statements. It consumes any ddg.Source — the full offline graph,
+// the compact store, or ONTRAC's reconstructing reader (whose elided
+// edges are resolved through the HintedSource extension).
+package slicing
+
+import (
+	"sort"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/isa"
+)
+
+// HintedSource is implemented by sources that can reconstruct elided
+// dependences given the node's static PC from traversal context
+// (ontrac.Reader). Plain sources are used as-is.
+type HintedSource interface {
+	ddg.Source
+	DepsOfHinted(id ddg.ID, pcHint int32, yield func(ddg.Dep))
+}
+
+// Criterion is a slicing start point: an instruction instance and its
+// static PC (the PC lets reconstruction work even when the instance
+// itself stored no record).
+type Criterion struct {
+	ID ddg.ID
+	PC int32
+}
+
+// Options tunes the traversal.
+type Options struct {
+	// FollowControl includes dynamic control dependences, giving the
+	// full (data+control) dynamic slice. Without it the slice is the
+	// data slice.
+	FollowControl bool
+	// FollowAnti includes WAR/WAW edges (race-detection slicing).
+	FollowAnti bool
+	// MaxNodes bounds the traversal (0 = unbounded).
+	MaxNodes int
+}
+
+// Slice is the result: the statement-level slice plus traversal
+// metadata.
+type Slice struct {
+	// PCs is the set of static instruction indices in the slice.
+	PCs map[int32]bool
+	// Lines is the sorted set of statement ids (source lines).
+	Lines []int
+	// Nodes is the number of dynamic instances visited.
+	Nodes int
+	// Edges is the number of dependence edges traversed.
+	Edges int
+	// TruncatedAtWindow reports that the traversal reached instances
+	// evicted from a bounded buffer: the fault may predate the
+	// retained execution window (§2.1's window-length concern).
+	TruncatedAtWindow bool
+}
+
+// Contains reports whether the slice includes the statement id.
+func (s *Slice) Contains(line int) bool {
+	i := sort.SearchInts(s.Lines, line)
+	return i < len(s.Lines) && s.Lines[i] == line
+}
+
+// Backward computes the backward dynamic slice of the criteria.
+func Backward(src ddg.Source, prog *isa.Program, crits []Criterion, opts Options) *Slice {
+	hinted, _ := src.(HintedSource)
+	res := &Slice{PCs: make(map[int32]bool)}
+	type item struct {
+		id ddg.ID
+		pc int32
+	}
+	visited := make(map[ddg.ID]bool)
+	var work []item
+	push := func(id ddg.ID, pc int32) {
+		if id == 0 || visited[id] {
+			return
+		}
+		visited[id] = true
+		lo, _ := src.Window(id.TID())
+		evicted := lo > 0 && id.N() < lo
+		deadEnd := lo == 0 && hinted == nil
+		if evicted || deadEnd {
+			// The statement reaches the slice via the incoming edge,
+			// but traversal cannot continue past the buffer window.
+			if evicted {
+				res.TruncatedAtWindow = true
+			}
+			if pc >= 0 {
+				res.PCs[pc] = true
+			}
+			return
+		}
+		work = append(work, item{id: id, pc: pc})
+	}
+	for _, c := range crits {
+		push(c.ID, c.PC)
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		res.Nodes++
+		if it.pc >= 0 {
+			res.PCs[it.pc] = true
+		}
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			break
+		}
+		yield := func(d ddg.Dep) {
+			switch d.Kind {
+			case ddg.Control:
+				if !opts.FollowControl {
+					return
+				}
+			case ddg.WAR, ddg.WAW:
+				if !opts.FollowAnti {
+					return
+				}
+			}
+			res.Edges++
+			res.PCs[d.DefPC] = true
+			push(d.Def, d.DefPC)
+		}
+		if hinted != nil {
+			hinted.DepsOfHinted(it.id, it.pc, yield)
+		} else {
+			src.DepsOf(it.id, yield)
+		}
+	}
+	res.Lines = pcsToLines(prog, res.PCs)
+	return res
+}
+
+// pcsToLines maps a PC set to a sorted, deduplicated line set.
+func pcsToLines(prog *isa.Program, pcs map[int32]bool) []int {
+	seen := make(map[int]bool, len(pcs))
+	for pc := range pcs {
+		if line := prog.LineOf(int(pc)); line >= 0 {
+			seen[line] = true
+		}
+	}
+	lines := make([]int, 0, len(seen))
+	for l := range seen {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	return lines
+}
+
+// Forward computes the forward dynamic slice (all instances affected
+// by the start instances). It requires the full graph: reverse edges
+// are built by one scan. The paper computes the forward slice of the
+// inputs online (ONTRAC T2); this offline version exists for
+// fault-location experiments and cross-checks.
+func Forward(g *ddg.Full, prog *isa.Program, start []ddg.ID, opts Options) *Slice {
+	// Build reverse adjacency.
+	rev := make(map[ddg.ID][]ddg.Dep)
+	for _, tid := range g.Threads() {
+		lo, hi := g.Window(tid)
+		for n := lo; n <= hi && lo != 0; n++ {
+			id := ddg.MakeID(tid, n)
+			g.DepsOf(id, func(d ddg.Dep) {
+				switch d.Kind {
+				case ddg.Control:
+					if !opts.FollowControl {
+						return
+					}
+				case ddg.WAR, ddg.WAW:
+					if !opts.FollowAnti {
+						return
+					}
+				}
+				rev[d.Def] = append(rev[d.Def], d)
+			})
+		}
+	}
+	res := &Slice{PCs: make(map[int32]bool)}
+	visited := make(map[ddg.ID]bool)
+	var work []ddg.ID
+	for _, id := range start {
+		if !visited[id] {
+			visited[id] = true
+			work = append(work, id)
+		}
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		res.Nodes++
+		if pc, ok := g.NodePC(id); ok {
+			res.PCs[pc] = true
+		}
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			break
+		}
+		for _, d := range rev[id] {
+			res.Edges++
+			res.PCs[d.UsePC] = true
+			if !visited[d.Use] {
+				visited[d.Use] = true
+				work = append(work, d.Use)
+			}
+		}
+	}
+	res.Lines = pcsToLines(prog, res.PCs)
+	return res
+}

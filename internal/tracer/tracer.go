@@ -1,0 +1,204 @@
+// Package tracer implements the paper's offline baseline (§2.1,
+// [18,19]): during execution only a raw address & control-flow trace
+// is written; a separate postprocessing pass then reconstructs the
+// dynamic dependence graph and compacts it. This is the two-step
+// pipeline whose end-to-end slowdown the paper reports as ~540× —
+// against which ONTRAC's ~19× online construction is measured.
+package tracer
+
+import (
+	"encoding/binary"
+
+	"scaldift/internal/cdep"
+	"scaldift/internal/ddg"
+	"scaldift/internal/isa"
+	"scaldift/internal/shadow"
+	"scaldift/internal/vm"
+)
+
+// Collector is the runtime half: a vm.Tool that appends one raw
+// record per executed instruction — (tid, pc, effective address,
+// branch outcome) — exactly the information a Pin-style tracing run
+// dumps for later processing.
+type Collector struct {
+	buf    []byte
+	instrs uint64
+}
+
+// NewCollector returns an empty trace collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// record layout: varint tid, varint pc, byte flags, [varint addr],
+// flags bit0 = has address, bit1 = branch taken, bit2 = is input,
+// [varint inputIdx].
+const (
+	flagAddr  = 1 << 0
+	flagTaken = 1 << 1
+	flagInput = 1 << 2
+	flagSpawn = 1 << 3 // record carries the spawned child's tid
+)
+
+// OnEvent implements vm.Tool.
+func (c *Collector) OnEvent(_ *vm.Machine, ev *vm.Event) {
+	if ev.Blocked {
+		return
+	}
+	c.instrs++
+	var tmp [10]byte
+	c.buf = append(c.buf, byte(ev.TID))
+	k := binary.PutUvarint(tmp[:], uint64(ev.PC))
+	c.buf = append(c.buf, tmp[:k]...)
+	flags := byte(0)
+	addr := vm.NoAddr
+	if ev.Addr != vm.NoAddr {
+		flags |= flagAddr
+		addr = ev.Addr
+	}
+	if ev.Taken {
+		flags |= flagTaken
+	}
+	if ev.Kind == vm.EvInput {
+		flags |= flagInput
+	}
+	if ev.Kind == vm.EvSpawn {
+		flags |= flagSpawn
+	}
+	c.buf = append(c.buf, flags)
+	if flags&flagAddr != 0 {
+		k = binary.PutUvarint(tmp[:], uint64(addr))
+		c.buf = append(c.buf, tmp[:k]...)
+	}
+	if flags&flagInput != 0 {
+		k = binary.PutUvarint(tmp[:], uint64(ev.InputIdx))
+		c.buf = append(c.buf, tmp[:k]...)
+	}
+	if flags&flagSpawn != 0 {
+		k = binary.PutUvarint(tmp[:], uint64(ev.DstVal))
+		c.buf = append(c.buf, tmp[:k]...)
+	}
+}
+
+// Instrs returns the number of recorded instructions.
+func (c *Collector) Instrs() uint64 { return c.instrs }
+
+// TraceBytes returns the raw trace size — the paper's ~16 bytes per
+// instruction figure corresponds to this stream before postprocessing.
+func (c *Collector) TraceBytes() int { return len(c.buf) }
+
+// BytesPerInstr is the raw trace rate.
+func (c *Collector) BytesPerInstr() float64 {
+	if c.instrs == 0 {
+		return 0
+	}
+	return float64(len(c.buf)) / float64(c.instrs)
+}
+
+var _ vm.Tool = (*Collector)(nil)
+
+// Result is the postprocessing output: the full dependence graph and
+// its compacted form.
+type Result struct {
+	Full    *ddg.Full
+	Compact *ddg.Compact
+}
+
+// Postprocess replays the raw trace against the program's statics and
+// rebuilds every dynamic dependence, materializing the full DDG and
+// then re-encoding it compactly — the expensive offline step ONTRAC
+// eliminates.
+func Postprocess(prog *isa.Program, c *Collector) *Result {
+	full := ddg.NewFull()
+	compact := ddg.NewCompact(0)
+	ctrl := cdep.New(prog)
+
+	type tag struct {
+		id ddg.ID
+		pc int32
+	}
+	var regTags [][isa.NumRegs]tag
+	memTags := shadow.NewMem[tag]()
+	var counts []uint64
+	grow := func(tid int) {
+		for tid >= len(regTags) {
+			regTags = append(regTags, [isa.NumRegs]tag{})
+			counts = append(counts, 0)
+		}
+	}
+
+	buf := c.buf
+	pos := 0
+	readUvarint := func() uint64 {
+		v, k := binary.Uvarint(buf[pos:])
+		pos += k
+		return v
+	}
+	var deps []ddg.Dep
+	for pos < len(buf) {
+		tid := int(buf[pos])
+		pos++
+		pc := int(readUvarint())
+		flags := buf[pos]
+		pos++
+		addr := vm.NoAddr
+		if flags&flagAddr != 0 {
+			addr = int64(readUvarint())
+		}
+		if flags&flagInput != 0 {
+			readUvarint() // input index: a taint postprocessor would use it
+		}
+		spawnChild := -1
+		if flags&flagSpawn != 0 {
+			spawnChild = int(readUvarint())
+		}
+		grow(tid)
+		counts[tid]++
+		n := counts[tid]
+		id := ddg.MakeID(tid, n)
+		ins := &prog.Instrs[pc]
+		parent := ctrl.Observe(tid, pc, n, ins.Op, flags&flagTaken != 0)
+		full.AddNode(id, int32(pc))
+
+		deps = deps[:0]
+		regs := &regTags[tid]
+		use := func(r uint8) {
+			if tg := regs[r]; tg.id != 0 {
+				deps = append(deps, ddg.Dep{Use: id, UsePC: int32(pc),
+					Def: tg.id, DefPC: tg.pc, Kind: ddg.Data})
+			}
+		}
+		if ins.Op.ReadsRs1() {
+			use(ins.Rs1)
+		}
+		if ins.Op.ReadsRs2() && (!ins.Op.ReadsRs1() || ins.Rs2 != ins.Rs1) {
+			use(ins.Rs2)
+		}
+		if ins.Op.Loads() && addr != vm.NoAddr {
+			if tg := memTags.Get(addr); tg.id != 0 {
+				deps = append(deps, ddg.Dep{Use: id, UsePC: int32(pc),
+					Def: tg.id, DefPC: tg.pc, Kind: ddg.Data})
+			}
+		}
+		if parent.N != 0 {
+			deps = append(deps, ddg.Dep{Use: id, UsePC: int32(pc),
+				Def: ddg.MakeID(tid, parent.N), DefPC: parent.PC, Kind: ddg.Control})
+		}
+		for _, d := range deps {
+			full.AddDep(d)
+		}
+		if len(deps) > 0 {
+			compact.Append(id, int32(pc), deps, 0)
+		}
+		if ins.Op.Stores() && addr != vm.NoAddr {
+			memTags.Set(addr, tag{id: id, pc: int32(pc)})
+		}
+		if ins.Op.WritesRd() && ins.Rd != 0 {
+			regs[ins.Rd] = tag{id: id, pc: int32(pc)}
+		}
+		if spawnChild >= 0 {
+			// The child's r1 is defined by this spawn instance.
+			grow(spawnChild)
+			regTags[spawnChild][1] = tag{id: id, pc: int32(pc)}
+		}
+	}
+	return &Result{Full: full, Compact: compact}
+}

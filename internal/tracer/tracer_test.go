@@ -1,0 +1,155 @@
+package tracer
+
+import (
+	"testing"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/isa"
+	"scaldift/internal/slicing"
+	"scaldift/internal/vm"
+)
+
+const prog = `
+    in r1, 0
+    movi r2, 0
+    movi r3, 0
+loop:
+    bge r3, r1, done
+    add r2, r2, r3
+    store r0, r2, 100
+    load r4, r0, 100
+    addi r3, r3, 1
+    br loop
+done:
+    out r2, 1
+    halt
+`
+
+// collectAndOnline runs prog once with both the offline collector and
+// an online full extractor attached, so the two graphs describe the
+// same execution.
+func collectAndOnline(t *testing.T, text string, inputs []int64) (*Collector, *ddg.Full, *isa.Program) {
+	t.Helper()
+	p := isa.MustAssemble("t", text)
+	m := vm.MustNew(p, vm.Config{})
+	m.SetInput(0, inputs)
+	col := NewCollector()
+	sink := ddg.NewFullSink()
+	ex := ddg.NewExtractor(p, sink, ddg.ExtractorOpts{ControlDeps: true})
+	m.AttachTool(col)
+	m.AttachTool(ex)
+	if res := m.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	return col, sink.G, p
+}
+
+func TestPostprocessMatchesOnline(t *testing.T) {
+	col, online, p := collectAndOnline(t, prog, []int64{50})
+	res := Postprocess(p, col)
+	if res.Full.Nodes() != online.Nodes() {
+		t.Fatalf("nodes: offline %d online %d", res.Full.Nodes(), online.Nodes())
+	}
+	if res.Full.Edges() != online.Edges() {
+		t.Fatalf("edges: offline %d online %d", res.Full.Edges(), online.Edges())
+	}
+	// Edge-exact comparison.
+	lo, hi := online.Window(0)
+	for n := lo; n <= hi; n++ {
+		id := ddg.MakeID(0, n)
+		a := ddg.CountDeps(online, id)
+		b := ddg.CountDeps(res.Full, id)
+		if len(a) != len(b) {
+			t.Fatalf("node %v: %+v vs %+v", id, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %v dep %d: %+v vs %+v", id, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestPostprocessMultithreaded(t *testing.T) {
+	col, online, p := collectAndOnline(t, `
+.data 0, 0
+    in r10, 0
+    spawn r20, r10, child
+    join r20
+    load r3, r0, 1
+    out r3, 1
+    halt
+child:
+    addi r2, r1, 1
+    store r0, r2, 1
+    halt
+`, []int64{5})
+	res := Postprocess(p, col)
+	if res.Full.Nodes() != online.Nodes() || res.Full.Edges() != online.Edges() {
+		t.Fatalf("offline %d/%d online %d/%d",
+			res.Full.Nodes(), res.Full.Edges(), online.Nodes(), online.Edges())
+	}
+	// The child's use of the spawn argument must be reconstructed.
+	deps := ddg.CountDeps(res.Full, ddg.MakeID(1, 1))
+	found := false
+	for _, d := range deps {
+		if d.Def == ddg.MakeID(0, 2) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spawn arg dep missing offline: %+v", deps)
+	}
+}
+
+func TestSliceEquivalence(t *testing.T) {
+	col, online, p := collectAndOnline(t, prog, []int64{30})
+	res := Postprocess(p, col)
+	// criterion: last OUT instance.
+	var outPC int32 = -1
+	for pc, ins := range p.Instrs {
+		if ins.Op == isa.OUT {
+			outPC = int32(pc)
+		}
+	}
+	lo, hi := online.Window(0)
+	var crit ddg.ID
+	for n := hi; n >= lo; n-- {
+		if pc, ok := online.NodePC(ddg.MakeID(0, n)); ok && pc == outPC {
+			crit = ddg.MakeID(0, n)
+			break
+		}
+	}
+	opts := slicing.Options{FollowControl: true}
+	a := slicing.Backward(online, p, []slicing.Criterion{{ID: crit, PC: outPC}}, opts)
+	b := slicing.Backward(res.Full, p, []slicing.Criterion{{ID: crit, PC: outPC}}, opts)
+	if len(a.Lines) != len(b.Lines) {
+		t.Fatalf("slices differ: %v vs %v", a.Lines, b.Lines)
+	}
+	for i := range a.Lines {
+		if a.Lines[i] != b.Lines[i] {
+			t.Fatalf("slices differ: %v vs %v", a.Lines, b.Lines)
+		}
+	}
+}
+
+func TestTraceRateIsRaw(t *testing.T) {
+	col, _, _ := collectAndOnline(t, prog, []int64{500})
+	bpi := col.BytesPerInstr()
+	// The raw trace costs a handful of bytes per instruction — the
+	// "before" number of the storage experiment.
+	if bpi < 3 || bpi > 16 {
+		t.Fatalf("raw trace rate %.2f B/instr out of range", bpi)
+	}
+	if col.Instrs() == 0 || col.TraceBytes() == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestCompactSmallerThanFull(t *testing.T) {
+	col, _, p := collectAndOnline(t, prog, []int64{500})
+	res := Postprocess(p, col)
+	if uint64(res.Compact.CurrentBytes())*3 > res.Full.SizeBytes() {
+		t.Fatalf("compact %d vs full %d", res.Compact.CurrentBytes(), res.Full.SizeBytes())
+	}
+}
