@@ -1,0 +1,3 @@
+module scaldift
+
+go 1.24

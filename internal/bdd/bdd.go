@@ -51,6 +51,12 @@ type Manager struct {
 	unique map[node]Ref
 	cache  map[opKey]Ref
 	counts map[Ref]uint64 // memoized set cardinalities
+
+	// Traversal scratch reused across NodeSize/NodeSizeAll calls: a
+	// node is visited in the current traversal iff seen[ref] == stamp.
+	// Avoids allocating a map per query on hot reporting paths.
+	seen  []uint32
+	stamp uint32
 }
 
 // NewManager creates a manager for sets over {0 .. 2^bits-1}.
@@ -311,17 +317,47 @@ func (m *Manager) Elements(s Ref, dst []int64) []int64 {
 // NodeSize returns the number of distinct nodes reachable from s
 // (excluding terminals) — the per-set memory figure.
 func (m *Manager) NodeSize(s Ref) int {
-	seen := map[Ref]bool{}
-	var walk func(Ref)
-	walk = func(r Ref) {
-		if r <= True || seen[r] {
-			return
-		}
-		seen[r] = true
-		n := m.nodes[r]
-		walk(n.lo)
-		walk(n.hi)
-	}
-	walk(s)
-	return len(seen)
+	m.beginVisit()
+	return m.countReachable(s)
 }
+
+// NodeSizeAll returns the number of distinct nodes reachable from any
+// of the roots (excluding terminals) — the *shared* memory figure for
+// a whole population of sets, which the lineage experiments compare
+// against the naive sum of per-set sizes (§3.4).
+func (m *Manager) NodeSizeAll(roots []Ref) int {
+	m.beginVisit()
+	total := 0
+	for _, r := range roots {
+		total += m.countReachable(r)
+	}
+	return total
+}
+
+// beginVisit starts a fresh traversal epoch on the shared scratch.
+func (m *Manager) beginVisit() {
+	if len(m.seen) < len(m.nodes) {
+		m.seen = append(m.seen, make([]uint32, len(m.nodes)-len(m.seen))...)
+	}
+	m.stamp++
+	if m.stamp == 0 { // wrapped: clear and restart
+		for i := range m.seen {
+			m.seen[i] = 0
+		}
+		m.stamp = 1
+	}
+}
+
+// countReachable counts not-yet-visited non-terminal nodes reachable
+// from r in the current epoch.
+func (m *Manager) countReachable(r Ref) int {
+	if r <= True || m.seen[r] == m.stamp {
+		return 0
+	}
+	m.seen[r] = m.stamp
+	n := m.nodes[r]
+	return 1 + m.countReachable(n.lo) + m.countReachable(n.hi)
+}
+
+// Subset reports whether a ⊆ b.
+func (m *Manager) Subset(a, b Ref) bool { return m.Diff(a, b) == False }

@@ -10,8 +10,15 @@
 //   - program-counter taint (bug location; §3.3) — PC domain, where a
 //     tainted location carries the PC of the most recent instruction
 //     that wrote it,
-//   - lineage-set taint (data validation; §3.4) — the roBDD-backed
-//     domain in internal/lineage.
+//   - lineage-set taint (data validation; §3.4) — lineage.Domain, the
+//     roBDD-backed domain in internal/lineage; labels are bdd.Ref
+//     handles and its Recorder sink answers per-output provenance
+//     queries after the run.
+//
+// A domain plugs in by implementing Domain[L] for a comparable label
+// type whose zero value means "untainted" and instantiating the
+// engine with NewEngine[L]; register and memory labels live in the
+// generic shadow.Mem[L], so adding a domain needs no engine changes.
 package dift
 
 import (

@@ -173,6 +173,24 @@ func TestPCTaintTracksLastWriter(t *testing.T) {
 	}
 }
 
+// TestPCJoinPrefersFirstOperand pins PC.Join's convention: prefer a
+// when non-zero, else b (not "most recent wins" — Transfer handles
+// recency by rewriting to the current statement).
+func TestPCJoinPrefersFirstOperand(t *testing.T) {
+	cases := []struct{ a, b, want PCLabel }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{3, 0, 3},
+		{3, 7, 3}, // both tainted: a wins regardless of magnitude
+		{7, 3, 7},
+	}
+	for _, c := range cases {
+		if got := (PC{}).Join(c.a, c.b); got != c.want {
+			t.Errorf("PC.Join(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
 func TestPCTaintZeroForClean(t *testing.T) {
 	p := isa.MustAssemble("t", `
     movi r1, 10

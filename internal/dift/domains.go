@@ -29,9 +29,12 @@ type PCLabel int32
 // Source labels an input word with the reading statement.
 func (PC) Source(ev *vm.Event) PCLabel { return PCLabel(ev.Instr.Line) }
 
-// Join keeps the most recent (larger-Seq wins is unavailable here, so
-// the convention is: any non-zero survives; prefer a, else b — the
-// Transfer step overwrites with the current statement anyway).
+// Join prefers a when it is non-zero, else b. It does NOT pick the
+// most recent writer — recency is unknowable at join time — and it
+// does not need to: Transfer rewrites every non-zero result to the
+// current statement, so Join only has to preserve "some source was
+// tainted". The a-then-b preference is a fixed convention pinned by
+// TestPCJoinPrefersFirstOperand.
 func (PC) Join(a, b PCLabel) PCLabel {
 	if a != 0 {
 		return a

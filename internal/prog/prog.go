@@ -28,6 +28,12 @@ type Workload struct {
 	Cfg    vm.Config
 	// Check validates the run's outputs; nil means no check.
 	Check func(m *vm.Machine) error
+	// WantLineage, when non-nil, gives for each word the program
+	// writes to ChOut the exact set of global input-word indices the
+	// word is data-derived from — the ground truth the lineage-set
+	// domain (internal/lineage) must reproduce. Indices count every
+	// input word consumed, headers included.
+	WantLineage [][]int64
 }
 
 // NewMachine builds a machine for the workload with inputs loaded.
@@ -52,6 +58,18 @@ func (w *Workload) Run() (*vm.Machine, *vm.Result, error) {
 		}
 	}
 	return m, res, nil
+}
+
+// All returns every registered workload at a small test scale: the
+// SPEC-like kernels, the SPLASH-like parallel kernels, and the
+// data-validation workloads. Tier-1 tests run each one uninstrumented
+// and assert its self-check passes.
+func All() []*Workload {
+	var ws []*Workload
+	ws = append(ws, SpecSuite(1)...)
+	ws = append(ws, SplashSuite(4, 1)...)
+	ws = append(ws, ValidationSuite(1)...)
+	return ws
 }
 
 // rng is a tiny deterministic generator for workload inputs.

@@ -1,0 +1,46 @@
+package prog
+
+import "testing"
+
+// TestAllWorkloadsSelfCheck runs every registered workload
+// uninstrumented and asserts its self-check passes, so the workload
+// library itself is exercised by tier-1.
+func TestAllWorkloadsSelfCheck(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if _, _, err := w.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestValidationLineageGroundTruth sanity-checks the WantLineage
+// metadata of the data-validation workloads: one entry per ChOut
+// word, indices within the consumed input range.
+func TestValidationLineageGroundTruth(t *testing.T) {
+	for _, w := range ValidationSuite(1) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			if w.WantLineage == nil {
+				t.Fatal("validation workload missing WantLineage")
+			}
+			m, _, err := w.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := len(m.Output(ChOut)), len(w.WantLineage); got != want {
+				t.Fatalf("%d outputs but %d lineage entries", got, want)
+			}
+			consumed := int64(m.InputsConsumed())
+			for i, deps := range w.WantLineage {
+				for _, d := range deps {
+					if d < 0 || d >= consumed {
+						t.Fatalf("output %d depends on input %d, outside consumed range [0,%d)", i, d, consumed)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,295 @@
+package prog
+
+import (
+	"fmt"
+
+	"scaldift/internal/isa"
+	"scaldift/internal/vm"
+)
+
+// Data-validation workloads (§3.4): pipelines whose correctness
+// question is "which input words did this output derive from?". Each
+// one computes its expected outputs AND the exact per-output lineage
+// (WantLineage) in reference Go, so lineage-domain tests can assert
+// provenance word by word.
+
+// StreamAgg is a streaming windowed aggregation: input n, w, then n
+// values; every w consecutive values are summed and emitted. The
+// lineage of window j is exactly its w value words.
+func StreamAgg(windows, w int, seed uint64) *Workload {
+	p := isa.MustAssemble("streamagg", `
+    in r1, 0          ; n
+    in r2, 0          ; w
+    movi r3, 0        ; i
+    movi r4, 0        ; acc
+    movi r5, 0        ; count in window
+loop:
+    bge r3, r1, done
+    in r6, 0
+    add r4, r4, r6
+    addi r5, r5, 1
+    addi r3, r3, 1
+    blt r5, r2, loop
+    out r4, 1
+    movi r4, 0
+    movi r5, 0
+    br loop
+done:
+    halt
+`)
+	r := newRng(seed)
+	n := windows * w
+	in := []int64{int64(n), int64(w)}
+	var want []int64
+	var lin [][]int64
+	for j := 0; j < windows; j++ {
+		var sum int64
+		var deps []int64
+		for k := 0; k < w; k++ {
+			v := r.intn(100)
+			in = append(in, v)
+			sum += v
+			// value k of window j is input word 2 + j*w + k
+			// (words 0 and 1 are the n and w headers).
+			deps = append(deps, int64(2+j*w+k))
+		}
+		want = append(want, sum)
+		lin = append(lin, deps)
+	}
+	return &Workload{
+		Name:        "streamagg",
+		Prog:        p,
+		Inputs:      map[int][]int64{ChIn: in},
+		Check:       expectOut(want),
+		WantLineage: lin,
+	}
+}
+
+// KeyedMerge is a join-like keyed merge (nested-loop join): a build
+// table of (key,value) pairs, then a probe stream of (key,value)
+// pairs; every probe that matches a build key emits buildVal+probeVal.
+// The lineage of each emitted word is exactly the two value words of
+// the matched pair — the keys steer control flow only.
+func KeyedMerge(nBuild, nProbe int, seed uint64) *Workload {
+	p := isa.MustAssemble("keyedmerge", `
+    in r1, 0           ; nBuild
+    muli r2, r1, 2
+    alloc r10, r2      ; build table: (key,val) pairs
+    movi r3, 0
+reada:
+    bge r3, r1, probe0
+    in r4, 0           ; key
+    in r5, 0           ; val
+    muli r6, r3, 2
+    add r6, r6, r10
+    store r6, r4, 0
+    store r6, r5, 1
+    addi r3, r3, 1
+    br reada
+probe0:
+    in r11, 0          ; nProbe
+    movi r12, 0        ; j
+bloop:
+    bge r12, r11, fin
+    in r13, 0          ; probe key
+    in r14, 0          ; probe val
+    movi r3, 0
+scan:
+    bge r3, r1, bnext
+    muli r6, r3, 2
+    add r6, r6, r10
+    load r7, r6, 0
+    bne r7, r13, snext
+    load r8, r6, 1
+    add r8, r8, r14
+    out r8, 1
+snext:
+    addi r3, r3, 1
+    br scan
+bnext:
+    addi r12, r12, 1
+    br bloop
+fin:
+    halt
+`)
+	r := newRng(seed)
+	in := []int64{int64(nBuild)}
+	keys := make([]int64, nBuild)
+	vals := make([]int64, nBuild)
+	seen := map[int64]bool{}
+	for i := 0; i < nBuild; i++ {
+		k := r.intn(int64(nBuild)*4 + 4)
+		for seen[k] {
+			k = r.intn(int64(nBuild)*4 + 4)
+		}
+		seen[k] = true
+		keys[i], vals[i] = k, r.intn(50)
+		in = append(in, keys[i], vals[i])
+	}
+	in = append(in, int64(nProbe))
+	var want []int64
+	var lin [][]int64
+	for j := 0; j < nProbe; j++ {
+		var pk int64
+		if nBuild > 0 && r.intn(2) == 0 {
+			pk = keys[r.intn(int64(nBuild))] // guaranteed match
+		} else {
+			pk = int64(nBuild)*4 + 4 + r.intn(64) // guaranteed miss
+		}
+		pv := r.intn(50)
+		in = append(in, pk, pv)
+		for i := 0; i < nBuild; i++ {
+			if keys[i] == pk {
+				want = append(want, vals[i]+pv)
+				// build val i is input word 2+2i; probe val j is
+				// input word (2+2*nBuild) + 2j + 1.
+				lin = append(lin, []int64{int64(2 + 2*i), int64(2 + 2*nBuild + 2*j + 1)})
+			}
+		}
+	}
+	return &Workload{
+		Name:        "keyedmerge",
+		Prog:        p,
+		Inputs:      map[int][]int64{ChIn: in},
+		Check:       expectOut(want),
+		WantLineage: lin,
+	}
+}
+
+// MapReduceSquares is a multi-threaded map/reduce on the VM: T
+// workers square their band of the input array (map) and accumulate a
+// partial sum (combine), synchronize on a barrier, then the main
+// thread emits each partial and the grand total (reduce). Partial t's
+// lineage is exactly band t's value words; the total's lineage is the
+// whole array.
+//
+// Layout: [1..2]=barrier, [3]=n, [4..11]=partials, [12]=array base.
+func MapReduceSquares(nThreads, n int, seed uint64) *Workload {
+	if nThreads < 1 || nThreads > 8 {
+		panic("prog: MapReduceSquares wants 1..8 threads")
+	}
+	text := fmt.Sprintf(`
+.equ T %d
+.reserve 16
+    in r1, 0          ; n
+    movi r2, 3
+    store r2, r1, 0
+    alloc r10, r1
+    movi r2, 12
+    store r2, r10, 0  ; array base
+    movi r3, 0
+read:
+    bge r3, r1, spawn0
+    in r4, 0
+    add r5, r10, r3
+    store r5, r4, 0
+    addi r3, r3, 1
+    br read
+spawn0:
+    movi r20, 1
+spawnloop:
+    movi r21, T
+    bge r20, r21, work0
+    spawn r22, r20, worker
+    addi r20, r20, 1
+    br spawnloop
+work0:
+    movi r1, 0        ; main is worker 0
+    call work
+    ; reduce: emit each partial, then the total
+    movi r3, 0
+    movi r4, 0
+red:
+    movi r5, T
+    bge r3, r5, fin
+    addi r6, r3, 4
+    load r7, r6, 0
+    out r7, 1
+    add r4, r4, r7
+    addi r3, r3, 1
+    br red
+fin:
+    out r4, 1
+    halt
+worker:
+    call work
+    halt
+.func work
+    ; r1 = worker index; band = [idx*n/T, (idx+1)*n/T)
+    movi r2, 3
+    load r3, r2, 0    ; n
+    movi r4, T
+    mul r5, r1, r3
+    div r5, r5, r4    ; lo
+    addi r6, r1, 1
+    mul r6, r6, r3
+    div r6, r6, r4    ; hi
+    movi r7, 12
+    load r8, r7, 0    ; base
+    movi r9, 0        ; acc
+wloop:
+    bge r5, r6, wdone
+    add r10, r8, r5
+    load r11, r10, 0
+    mul r11, r11, r11 ; map: square
+    add r9, r9, r11
+    addi r5, r5, 1
+    br wloop
+wdone:
+    addi r12, r1, 4
+    store r12, r9, 0  ; partials[idx]
+    movi r13, 1
+    movi r14, T
+    barrier r13, r14, 0
+    ret
+.endfunc
+`, nThreads)
+	p := isa.MustAssemble("mapreduce", text)
+	r := newRng(seed)
+	in := []int64{int64(n)}
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = r.intn(30)
+		in = append(in, vals[i])
+	}
+	var want []int64
+	var lin [][]int64
+	var total int64
+	var totalDeps []int64
+	for t := 0; t < nThreads; t++ {
+		lo, hi := t*n/nThreads, (t+1)*n/nThreads
+		var part int64
+		var deps []int64
+		for i := lo; i < hi; i++ {
+			part += vals[i] * vals[i]
+			deps = append(deps, int64(1+i)) // word 0 is the n header
+		}
+		want = append(want, part)
+		lin = append(lin, deps)
+		total += part
+		totalDeps = append(totalDeps, deps...)
+	}
+	want = append(want, total)
+	lin = append(lin, totalDeps)
+	return &Workload{
+		Name:        "mapreduce",
+		Prog:        p,
+		Inputs:      map[int][]int64{ChIn: in},
+		Cfg:         vm.Config{Quantum: 20, RandomPreempt: true},
+		Check:       expectOut(want),
+		WantLineage: lin,
+	}
+}
+
+// ValidationSuite returns the data-validation workloads at a common
+// scale.
+func ValidationSuite(scale int) []*Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	return []*Workload{
+		StreamAgg(scale*8, 4, 21),
+		KeyedMerge(scale*12, scale*20, 22),
+		MapReduceSquares(4, scale*64, 23),
+	}
+}
