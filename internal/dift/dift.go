@@ -117,93 +117,23 @@ func (e *Engine[L]) Reset() {
 	e.events = 0
 }
 
-func (e *Engine[L]) threadRegs(tid int) *[isa.NumRegs]L {
+// Regs implements RegBank, growing the per-thread file on demand.
+func (e *Engine[L]) Regs(tid int) *[isa.NumRegs]L {
 	for tid >= len(e.regs) {
 		e.regs = append(e.regs, [isa.NumRegs]L{})
 	}
 	return &e.regs[tid]
 }
 
-// joinSrcRegs folds the labels of the event's source registers.
-func (e *Engine[L]) joinSrcRegs(regs *[isa.NumRegs]L, ev *vm.Event) L {
-	l := e.zero
-	for i := 0; i < ev.NSrc; i++ {
-		l = e.dom.Join(l, regs[ev.SrcRegs[i]])
-	}
-	return l
-}
-
 // OnEvent implements vm.Tool: propagate taint for one instruction.
+// The propagation semantics live in Step, which the offloaded
+// pipeline workers (internal/pipeline) share.
 func (e *Engine[L]) OnEvent(m *vm.Machine, ev *vm.Event) {
 	if ev.Blocked {
 		return
 	}
 	e.events++
-	regs := e.threadRegs(ev.TID)
-	switch ev.Kind {
-	case vm.EvInput:
-		if ev.DstReg >= 0 && ev.Instr.Op == isa.IN {
-			regs[ev.DstReg] = e.dom.Transfer(ev, e.dom.Source(ev))
-		} else if ev.DstReg >= 0 {
-			regs[ev.DstReg] = e.zero // INAVAIL is not a source
-		}
-	case vm.EvCompute, vm.EvCas:
-		if ev.DstReg < 0 {
-			return
-		}
-		src := e.joinSrcRegs(regs, ev)
-		if ev.SrcMem != vm.NoAddr { // CAS reads memory too
-			src = e.dom.Join(src, e.mem.Get(ev.SrcMem))
-		}
-		if ev.NSrc == 0 && ev.SrcMem == vm.NoAddr && e.pol.ClearOnConst {
-			regs[ev.DstReg] = e.zero
-		} else {
-			regs[ev.DstReg] = e.dom.Transfer(ev, src)
-		}
-		if ev.DstMem != vm.NoAddr { // CAS swap wrote memory
-			srcM := regs[int(ev.Instr.Rs2)]
-			e.mem.Set(ev.DstMem, e.dom.Transfer(ev, srcM))
-		}
-	case vm.EvLoad:
-		src := e.mem.Get(ev.SrcMem)
-		if e.pol.TrackAddresses && ev.AddrReg >= 0 {
-			src = e.dom.Join(src, regs[ev.AddrReg])
-		}
-		if ev.DstReg >= 0 {
-			regs[ev.DstReg] = e.dom.Transfer(ev, src)
-		}
-	case vm.EvStore:
-		src := e.joinSrcRegs(regs, ev)
-		if e.pol.TrackAddresses && ev.AddrReg >= 0 {
-			src = e.dom.Join(src, regs[ev.AddrReg])
-		}
-		e.mem.Set(ev.DstMem, e.dom.Transfer(ev, src))
-	case vm.EvOutput:
-		l := e.joinSrcRegs(regs, ev)
-		for _, s := range e.sinks {
-			s.OnOutput(ev, l)
-		}
-	case vm.EvBranch, vm.EvCall:
-		if ev.Instr.Op == isa.BRR || ev.Instr.Op == isa.CALLR {
-			l := regs[int(ev.Instr.Rs1)]
-			for _, s := range e.sinks {
-				s.OnIndirectBranch(ev, l)
-			}
-		}
-	case vm.EvSpawn:
-		// The spawned thread's r1 receives the argument; propagate
-		// its label to the new thread's register file.
-		child := int(ev.DstVal)
-		arg := regs[int(ev.Instr.Rs1)]
-		if ev.DstReg >= 0 {
-			regs[ev.DstReg] = e.zero // tid is not input-derived
-		}
-		e.threadRegs(child)[1] = arg
-	case vm.EvFlag:
-		if ev.DstMem != vm.NoAddr {
-			e.mem.Set(ev.DstMem, e.zero) // flag constants are untainted
-		}
-	}
+	Step(e.dom, e.pol, e, e.mem, e.sinks, ev)
 }
 
 var _ vm.Tool = (*Engine[bool])(nil)

@@ -269,6 +269,125 @@ func TestCasPropagatesTaint(t *testing.T) {
 	}
 }
 
+// The CAS and spawn tests below pin the engine's observed semantics
+// so the pipeline refactor (and anything after it) cannot silently
+// change them: Step in state.go is shared by both engines, and these
+// are the behaviors the differential suite holds it to.
+
+// TestCasFailureSemantics pins the failure path: a CAS whose expected
+// value does not match still *reads* memory (the old value lands in
+// Rd with the memory label joined in), but writes nothing — DstMem
+// stays NoAddr, so the memory label is untouched, tainted or not.
+func TestCasFailureSemantics(t *testing.T) {
+	p := isa.MustAssemble("t", `
+.data 0
+    in r2, 0            ; tainted
+    store r0, r2, 0     ; mem[0] tainted, value = input
+    movi r4, 99         ; expected value that cannot match
+    cas r3, r0, r4, 7   ; fails: r3 = old (tainted), mem unchanged
+    halt
+`)
+	m := vm.MustNew(p, vm.Config{})
+	m.SetInput(0, []int64{5})
+	e := NewEngine[bool](Bool{}, DefaultPolicy())
+	m.AttachTool(e)
+	if res := m.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	if m.Mem[0] != 5 {
+		t.Fatalf("CAS unexpectedly succeeded: mem[0] = %d", m.Mem[0])
+	}
+	if !e.RegTaint(0, 3) {
+		t.Fatal("failed CAS must still taint Rd from the memory read")
+	}
+	if !e.MemTaint(0) {
+		t.Fatal("failed CAS must leave the memory label unchanged")
+	}
+}
+
+// TestCasSuccessWritesExpectedRegLabel pins the success path: the
+// stored word is the immediate (a constant), but the engine labels
+// DstMem with the *expected-value register's* label — so a tainted
+// expected register taints the swapped-in word, and an untainted one
+// clears a previously tainted word.
+func TestCasSuccessWritesExpectedRegLabel(t *testing.T) {
+	// Tainted expected register → memory becomes tainted.
+	p := isa.MustAssemble("t", `
+.data 0
+    in r2, 0            ; tainted expected value
+    store r0, r2, 0     ; mem[0] = input (tainted)
+    cas r3, r0, r2, 9   ; succeeds: mem[0] = 9, label = label(r2)
+    halt
+`)
+	m := vm.MustNew(p, vm.Config{})
+	m.SetInput(0, []int64{5})
+	e := NewEngine[bool](Bool{}, DefaultPolicy())
+	m.AttachTool(e)
+	if res := m.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	if m.Mem[0] != 9 {
+		t.Fatal("CAS should have succeeded")
+	}
+	if !e.MemTaint(0) {
+		t.Fatal("successful CAS labels DstMem from the expected register (tainted)")
+	}
+
+	// Untainted expected register → previously tainted memory cleared.
+	p3 := isa.MustAssemble("t", `
+.data 5
+    in r2, 0            ; tainted, value 5
+    store r0, r2, 0     ; mem[0] = 5, tainted
+    movi r4, 5          ; untainted expected value matching mem[0]
+    cas r3, r0, r4, 9   ; succeeds: label(mem[0]) = label(r4) = clean
+    halt
+`)
+	m3 := vm.MustNew(p3, vm.Config{})
+	m3.SetInput(0, []int64{5})
+	e3 := NewEngine[bool](Bool{}, DefaultPolicy())
+	m3.AttachTool(e3)
+	if res := m3.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	if m3.Mem[0] != 9 {
+		t.Fatal("CAS should have succeeded")
+	}
+	if e3.MemTaint(0) {
+		t.Fatal("successful CAS with clean expected register must clear the memory label")
+	}
+	if !e3.RegTaint(0, 3) {
+		t.Fatal("Rd still carries the old (tainted) memory label")
+	}
+}
+
+// TestSpawnSeedsChildRegisterFile pins spawn's register seeding: the
+// child's r1 receives the argument's label before the child runs a
+// single instruction, and the spawner's Rd (the returned tid) is
+// always clean, tainted argument or not.
+func TestSpawnSeedsChildRegisterFile(t *testing.T) {
+	p := isa.MustAssemble("t", `
+    in r10, 0           ; tainted argument
+    spawn r20, r10, child
+    join r20
+    halt
+child:
+    halt                ; child never touches r1
+`)
+	m := vm.MustNew(p, vm.Config{})
+	m.SetInput(0, []int64{5})
+	e := NewEngine[bool](Bool{}, DefaultPolicy())
+	m.AttachTool(e)
+	if res := m.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	if !e.RegTaint(1, 1) {
+		t.Fatal("child r1 must carry the spawn argument's label")
+	}
+	if e.RegTaint(0, 20) {
+		t.Fatal("spawner's tid register must be clean")
+	}
+}
+
 func TestShadowStatsGrow(t *testing.T) {
 	e, _, _ := runBool(t, `
     in r1, 0

@@ -1,0 +1,153 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"scaldift/internal/bdd"
+	"scaldift/internal/dift"
+	"scaldift/internal/lineage"
+	"scaldift/internal/prog"
+	"scaldift/internal/vm"
+)
+
+// The differential suite: every prog.All() workload, run under both
+// the inline dift.Engine and the offloaded pipeline, across >= 8
+// randomized VM schedules per workload, asserting identical sink
+// labels for the Bool, PC, and lineage domains and identical
+// TaintedWords at halt. The two runs of a (workload, seed) pair use
+// the same deterministic schedule — tools never perturb execution —
+// so any divergence is the pipeline's fault, not the scheduler's.
+
+const diffSchedules = 8
+
+// diffMachines builds two identical machines for one workload at the
+// given schedule seed. NewMachine copies the input vectors, so one
+// workload value safely serves both engines and every seed.
+func diffMachines(w *prog.Workload, seed uint64) (*vm.Machine, *vm.Machine) {
+	w.Cfg.Seed = seed
+	w.Cfg.RandomPreempt = true
+	if w.Cfg.Quantum == 0 {
+		w.Cfg.Quantum = 11
+	}
+	return w.NewMachine(), w.NewMachine()
+}
+
+// pipelineOpts varies the pipeline shape with the schedule seed so
+// the suite also sweeps worker counts and batch sizes.
+func pipelineOpts(seed uint64) Options {
+	return Options{
+		Workers:     1 + int(seed)%4,
+		BatchEvents: []int{32, 64, 256}[int(seed)%3],
+	}
+}
+
+func diffComparable[L comparable](t *testing.T, name string, w *prog.Workload, dom dift.Domain[L]) {
+	t.Helper()
+	for seed := uint64(0); seed < diffSchedules; seed++ {
+		mi, mp := diffMachines(w, seed)
+
+		eng := dift.NewEngine[L](dom, dift.DefaultPolicy())
+		si := &dift.CollectSink[L]{}
+		eng.AddSink(si)
+		mi.AttachTool(eng)
+		if res := mi.Run(); res.Failed {
+			t.Fatalf("%s seed %d: inline run failed: %s", name, seed, res.FailMsg)
+		}
+
+		pl := New[L](dom, dift.DefaultPolicy(), pipelineOpts(seed))
+		sp := &dift.CollectSink[L]{}
+		pl.AddSink(sp)
+		if res := Run(mp, pl); res.Failed {
+			t.Fatalf("%s seed %d: pipeline run failed: %s", name, seed, res.FailMsg)
+		}
+
+		if len(si.Outputs) != len(sp.Outputs) {
+			t.Fatalf("%s seed %d: %d inline outputs vs %d pipeline", name, seed, len(si.Outputs), len(sp.Outputs))
+		}
+		for i := range si.Outputs {
+			if si.Outputs[i] != sp.Outputs[i] {
+				t.Fatalf("%s seed %d: output label %d diverged: inline %v, pipeline %v",
+					name, seed, i, si.Outputs[i], sp.Outputs[i])
+			}
+		}
+		if len(si.Branches) != len(sp.Branches) {
+			t.Fatalf("%s seed %d: branch sink count diverged", name, seed)
+		}
+		for i := range si.Branches {
+			if si.Branches[i] != sp.Branches[i] {
+				t.Fatalf("%s seed %d: branch label %d diverged", name, seed, i)
+			}
+		}
+		if eng.TaintedWords() != pl.TaintedWords() {
+			t.Fatalf("%s seed %d: TaintedWords inline %d vs pipeline %d",
+				name, seed, eng.TaintedWords(), pl.TaintedWords())
+		}
+	}
+}
+
+func TestDifferentialBool(t *testing.T) {
+	for _, w := range prog.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			diffComparable[bool](t, w.Name, w, dift.Bool{})
+		})
+	}
+}
+
+func TestDifferentialPC(t *testing.T) {
+	for _, w := range prog.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			diffComparable[dift.PCLabel](t, w.Name, w, dift.PC{})
+		})
+	}
+}
+
+// TestDifferentialLineage compares lineage as sets: the two engines
+// own separate roBDD managers, so raw Refs are incomparable, but the
+// element sets they denote must be identical output by output.
+func TestDifferentialLineage(t *testing.T) {
+	for _, w := range prog.All() {
+		t.Run(w.Name, func(t *testing.T) {
+			bits := lineage.BitsFor(len(w.Inputs[prog.ChIn]) + 8)
+			for seed := uint64(0); seed < diffSchedules; seed++ {
+				mi, mp := diffMachines(w, seed)
+
+				di := lineage.NewDomain(bits)
+				eng := dift.NewEngine[bdd.Ref](di, dift.DefaultPolicy())
+				ri := lineage.NewRecorder(di)
+				eng.AddSink(ri)
+				mi.AttachTool(eng)
+				if res := mi.Run(); res.Failed {
+					t.Fatalf("seed %d: inline run failed: %s", seed, res.FailMsg)
+				}
+
+				dp := lineage.NewLockedDomain(bits)
+				pl := New[bdd.Ref](dp, dift.DefaultPolicy(), pipelineOpts(seed))
+				rp := lineage.NewRecorder(dp.Domain)
+				pl.AddSink(rp)
+				if res := Run(mp, pl); res.Failed {
+					t.Fatalf("seed %d: pipeline run failed: %s", seed, res.FailMsg)
+				}
+
+				if len(ri.Outputs) != len(rp.Outputs) {
+					t.Fatalf("seed %d: %d inline outputs vs %d pipeline", seed, len(ri.Outputs), len(rp.Outputs))
+				}
+				for i := range ri.Outputs {
+					oi, op := ri.Outputs[i], rp.Outputs[i]
+					if oi.Ch != op.Ch || oi.Val != op.Val || oi.Seq != op.Seq {
+						t.Fatalf("seed %d: output %d metadata diverged: %+v vs %+v", seed, i, oi, op)
+					}
+					ei := di.Manager().Elements(oi.Set, nil)
+					ep := dp.Manager().Elements(op.Set, nil)
+					if fmt.Sprint(ei) != fmt.Sprint(ep) {
+						t.Fatalf("seed %d: output %d lineage diverged:\ninline   %v\npipeline %v", seed, i, ei, ep)
+					}
+				}
+				if eng.TaintedWords() != pl.TaintedWords() {
+					t.Fatalf("seed %d: TaintedWords inline %d vs pipeline %d",
+						seed, eng.TaintedWords(), pl.TaintedWords())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+// Package pipeline implements the offloaded DIFT pipeline: execution
+// and analysis decoupled, the paper's central scalability move. The
+// VM runs with only a batching event recorder attached (vm.Recorder —
+// one filter check and one struct copy per instruction), and taint
+// propagation consumes the sealed batches downstream, in worker
+// goroutines over shadow memory sharded by address range.
+//
+// Equivalence with the inline engine is by construction plus
+// checking, not hope:
+//
+//   - workers run the same transfer function (dift.Step) the inline
+//     engine runs — the semantics exist once;
+//   - a window of per-thread batch chains is propagated concurrently
+//     only when conflict analysis proves the chains touch disjoint
+//     memory; windows that conflict (racy or closely synchronized
+//     threads) and thread-communication events (spawn) fall back to
+//     an ordered sequential merge by global sequence number;
+//   - sinks fire in global sequence order, exactly as inline;
+//   - the differential suite in this package runs every prog.All()
+//     workload under both engines across randomized schedules and
+//     asserts identical labels.
+package pipeline
+
+import (
+	"sync"
+
+	"scaldift/internal/dift"
+	"scaldift/internal/isa"
+	"scaldift/internal/shadow"
+	"scaldift/internal/vm"
+)
+
+// Options parameterizes a Pipeline.
+type Options struct {
+	// Workers is the number of propagation worker goroutines
+	// (default 2).
+	Workers int
+	// BatchEvents is the recorder's per-batch capacity (default
+	// vm.DefaultBatchEvents).
+	BatchEvents int
+	// WindowBatches is how many batches accumulate before a window is
+	// propagated (default 2×Workers). Larger windows expose more
+	// cross-thread parallelism; smaller ones bound latency.
+	WindowBatches int
+	// QueueDepth bounds the recorder→consumer channel; a full queue
+	// applies backpressure to the execution thread (default 64).
+	QueueDepth int
+	// Shards is the shadow-memory shard count (default 8).
+	Shards int
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.BatchEvents <= 0 {
+		o.BatchEvents = vm.DefaultBatchEvents
+	}
+	if o.WindowBatches <= 0 {
+		o.WindowBatches = 2 * o.Workers
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+}
+
+// Pipeline is the offloaded DIFT engine. Create with New, attach to a
+// machine with Attach (or use Run), and read results after Close.
+// Sinks fire on the consumer goroutine, in global sequence order.
+type Pipeline[L comparable] struct {
+	dom   dift.Domain[L]
+	pol   dift.Policy
+	opt   Options
+	mem   *shadow.Sharded[L]
+	regs  []*[isa.NumRegs]L
+	sinks []dift.Sink[L]
+
+	rec  *vm.Recorder
+	in   chan *vm.Batch
+	done chan struct{}
+
+	tasks chan *chainTask[L]
+	wwg   sync.WaitGroup
+
+	window   []*vm.Batch
+	winGroup uint64
+	events   uint64
+	seqBuf   []*vm.Event
+	recsBuf  []sinkRec[L]
+}
+
+// New creates a pipeline over the given domain and policy and starts
+// its worker pool. The domain must be safe for concurrent use by
+// Options.Workers goroutines (Bool, PC and InputID are stateless;
+// lineage needs lineage.NewLockedDomain).
+func New[L comparable](dom dift.Domain[L], pol dift.Policy, opt Options) *Pipeline[L] {
+	opt.fill()
+	p := &Pipeline[L]{
+		dom:   dom,
+		pol:   pol,
+		opt:   opt,
+		mem:   shadow.NewSharded[L](opt.Shards),
+		tasks: make(chan *chainTask[L], 16),
+	}
+	p.ensureTID(0)
+	p.wwg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// AddSink registers a sink. Call before Attach or Consume.
+func (p *Pipeline[L]) AddSink(s dift.Sink[L]) { p.sinks = append(p.sinks, s) }
+
+// Attach connects the pipeline to m via a batching recorder and
+// starts the consumer goroutine. Call Close after the run to flush
+// and drain.
+func (p *Pipeline[L]) Attach(m *vm.Machine) {
+	p.in = make(chan *vm.Batch, p.opt.QueueDepth)
+	p.done = make(chan struct{})
+	p.rec = vm.NewRecorder(p.opt.BatchEvents, dift.Relevant, func(b *vm.Batch) { p.in <- b })
+	m.AttachTool(p.rec)
+	go func() {
+		for b := range p.in {
+			p.feed(b)
+		}
+		p.processWindow()
+		close(p.done)
+	}()
+}
+
+// Close flushes the recorder, drains the consumer, and stops the
+// worker pool. The pipeline's results are stable once Close returns;
+// the pipeline cannot be reused afterwards. Close is idempotent, so
+// `defer p.Close()` composes with Run (which closes on return).
+func (p *Pipeline[L]) Close() {
+	if p.rec != nil {
+		p.rec.Flush()
+	}
+	if p.in != nil {
+		close(p.in)
+		<-p.done
+		p.in = nil
+	}
+	if p.tasks != nil {
+		close(p.tasks)
+		p.wwg.Wait()
+		p.tasks = nil
+	}
+}
+
+// Consume propagates an offline batch stream (from Collect)
+// synchronously on the calling goroutine, using the worker pool for
+// conflict-free windows. It may be called repeatedly; call Close when
+// done to stop the workers.
+func (p *Pipeline[L]) Consume(batches []*vm.Batch) {
+	for _, b := range batches {
+		p.feed(b)
+	}
+	p.processWindow()
+}
+
+// Run attaches p to m, runs the machine to completion, and closes the
+// pipeline: the one-call entry point for an offloaded analysis run.
+func Run[L comparable](m *vm.Machine, p *Pipeline[L]) *vm.Result {
+	p.Attach(m)
+	res := m.Run()
+	p.Close()
+	return res
+}
+
+// Collect runs m with only a batching recorder attached and returns
+// the sealed label-relevant batches — an offline trace. Benchmarks
+// use it to time the record and propagate stages separately.
+func Collect(m *vm.Machine, batchEvents int) ([]*vm.Batch, *vm.Result) {
+	var out []*vm.Batch
+	rec := vm.NewRecorder(batchEvents, dift.Relevant, func(b *vm.Batch) { out = append(out, b) })
+	m.AttachTool(rec)
+	res := m.Run()
+	rec.Flush()
+	return out, res
+}
+
+// Regs implements dift.RegBank. The consumer grows the bank at
+// window boundaries (ensureTID), so workers see a stable slice.
+func (p *Pipeline[L]) Regs(tid int) *[isa.NumRegs]L { return p.regs[tid] }
+
+func (p *Pipeline[L]) ensureTID(tid int) {
+	for tid >= len(p.regs) {
+		p.regs = append(p.regs, new([isa.NumRegs]L))
+	}
+}
+
+// RegTaint returns the label of register r in thread tid.
+func (p *Pipeline[L]) RegTaint(tid, r int) L {
+	var zero L
+	if tid < 0 || tid >= len(p.regs) || r < 0 || r >= isa.NumRegs {
+		return zero
+	}
+	return p.regs[tid][r]
+}
+
+// MemTaint returns the label of memory word addr.
+func (p *Pipeline[L]) MemTaint(addr int64) L { return p.mem.Get(addr) }
+
+// TaintedWords returns the number of memory words currently tainted.
+func (p *Pipeline[L]) TaintedWords() int { return p.mem.Tainted() }
+
+// ShadowSizeWords returns the allocated shadow size in cells.
+func (p *Pipeline[L]) ShadowSizeWords() int { return p.mem.SizeWords() }
+
+// Events returns how many recorded events the pipeline propagated.
+// The recorder filters label-irrelevant events, so this is smaller
+// than the inline engine's count for the same run.
+func (p *Pipeline[L]) Events() uint64 { return p.events }
+
+var _ dift.RegBank[bool] = (*Pipeline[bool])(nil)

@@ -1,0 +1,264 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+
+	"scaldift/internal/dift"
+	"scaldift/internal/vm"
+)
+
+// sinkRec is one deferred sink observation. Workers record instead of
+// firing so the pipeline can replay sinks in global sequence order,
+// matching the inline engine exactly.
+type sinkRec[L comparable] struct {
+	ev     *vm.Event
+	label  L
+	branch bool
+}
+
+// capture is the dift.Sink workers propagate into.
+type capture[L comparable] struct{ recs []sinkRec[L] }
+
+func (c *capture[L]) OnOutput(ev *vm.Event, l L) {
+	c.recs = append(c.recs, sinkRec[L]{ev: ev, label: l})
+}
+
+func (c *capture[L]) OnIndirectBranch(ev *vm.Event, l L) {
+	c.recs = append(c.recs, sinkRec[L]{ev: ev, label: l, branch: true})
+}
+
+// chainTask is one thread's ordered batch chain within a window,
+// dispatched to a worker.
+type chainTask[L comparable] struct {
+	batches []*vm.Batch
+	recs    []sinkRec[L]
+	wg      *sync.WaitGroup
+}
+
+// worker propagates chain tasks until the task channel closes.
+func (p *Pipeline[L]) worker() {
+	defer p.wwg.Done()
+	for t := range p.tasks {
+		var cap capture[L]
+		sinks := []dift.Sink[L]{&cap}
+		for _, b := range t.batches {
+			for i := range b.Events {
+				dift.Step(p.dom, p.pol, p, p.mem, sinks, &b.Events[i])
+			}
+		}
+		t.recs = cap.recs
+		t.wg.Done()
+	}
+}
+
+// feed accepts one sealed batch on the consumer goroutine. Windows
+// only break at flush-group boundaries: the batches of one group
+// jointly cover a contiguous global sequence range, so splitting a
+// group would let a window run ahead of another thread's older,
+// not-yet-windowed events.
+func (p *Pipeline[L]) feed(b *vm.Batch) {
+	if b.Sync {
+		// Global ordering point: drain the window, then apply the
+		// communication event by itself.
+		p.processWindow()
+		p.applyOrdered([]*vm.Batch{b})
+		p.free(b)
+		return
+	}
+	if len(p.window) >= p.opt.WindowBatches && b.Group != p.winGroup {
+		p.processWindow()
+	}
+	p.window = append(p.window, b)
+	p.winGroup = b.Group
+}
+
+// processWindow propagates the accumulated window: concurrently when
+// its per-thread chains provably touch disjoint memory, otherwise as
+// an ordered sequential merge.
+func (p *Pipeline[L]) processWindow() {
+	if len(p.window) == 0 {
+		return
+	}
+	w := p.window
+	p.window = p.window[:0]
+
+	chains, maxTID := groupChains(w)
+	p.ensureTID(maxTID)
+	switch {
+	case len(chains) == 1:
+		// One thread: its batches are already in both program and
+		// global order, so propagate directly — no sort, no deferral.
+		p.applyChain(chains[0])
+	case conflicts(chains):
+		p.applyOrdered(w)
+	default:
+		p.applyParallel(chains, w)
+	}
+	for _, b := range w {
+		p.free(b)
+	}
+}
+
+// applyChain propagates one thread's batch chain in order on the
+// consumer goroutine, firing sinks directly (the events are already
+// globally ordered relative to everything processed so far).
+func (p *Pipeline[L]) applyChain(ch []*vm.Batch) {
+	for _, b := range ch {
+		for i := range b.Events {
+			dift.Step(p.dom, p.pol, p, p.mem, p.sinks, &b.Events[i])
+		}
+		p.events += uint64(len(b.Events))
+	}
+}
+
+// applyOrdered merges the batches' events by global sequence number
+// and propagates them one by one — the exact inline order, sinks
+// fired as reached. Used for sync batches and conflicting windows.
+func (p *Pipeline[L]) applyOrdered(w []*vm.Batch) {
+	evs := p.seqBuf[:0]
+	for _, b := range w {
+		for i := range b.Events {
+			evs = append(evs, &b.Events[i])
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	for _, ev := range evs {
+		if ev.Kind == vm.EvSpawn {
+			p.ensureTID(int(ev.DstVal))
+		}
+		dift.Step(p.dom, p.pol, p, p.mem, p.sinks, ev)
+	}
+	p.events += uint64(len(evs))
+	p.seqBuf = evs[:0]
+}
+
+// applyParallel dispatches each thread's chain to the worker pool,
+// waits, and replays the recorded sink observations in sequence
+// order.
+func (p *Pipeline[L]) applyParallel(chains [][]*vm.Batch, w []*vm.Batch) {
+	var wg sync.WaitGroup
+	wg.Add(len(chains))
+	tasks := make([]*chainTask[L], len(chains))
+	for i, ch := range chains {
+		t := &chainTask[L]{batches: ch, wg: &wg}
+		tasks[i] = t
+		p.tasks <- t
+	}
+	wg.Wait()
+	recs := p.recsBuf[:0]
+	for _, t := range tasks {
+		recs = append(recs, t.recs...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ev.Seq < recs[j].ev.Seq })
+	for _, b := range w {
+		p.events += uint64(len(b.Events))
+	}
+	p.deliver(recs)
+	p.recsBuf = recs[:0]
+}
+
+// deliver replays sink observations (already sequence-ordered) into
+// the registered sinks.
+func (p *Pipeline[L]) deliver(recs []sinkRec[L]) {
+	for _, rc := range recs {
+		for _, s := range p.sinks {
+			if rc.branch {
+				s.OnIndirectBranch(rc.ev, rc.label)
+			} else {
+				s.OnOutput(rc.ev, rc.label)
+			}
+		}
+	}
+}
+
+func (p *Pipeline[L]) free(b *vm.Batch) {
+	if p.rec != nil {
+		p.rec.Free(b)
+	}
+}
+
+// groupChains splits a window into per-thread chains, preserving each
+// thread's batch order, and reports the largest TID seen.
+func groupChains(w []*vm.Batch) (chains [][]*vm.Batch, maxTID int) {
+	byTID := make(map[int]int) // tid → chain index
+	for _, b := range w {
+		if b.TID > maxTID {
+			maxTID = b.TID
+		}
+		if i, ok := byTID[b.TID]; ok {
+			chains[i] = append(chains[i], b)
+		} else {
+			byTID[b.TID] = len(chains)
+			chains = append(chains, []*vm.Batch{b})
+		}
+	}
+	return chains, maxTID
+}
+
+// access is one chain's memory footprint.
+type access struct {
+	reads  map[int64]struct{}
+	writes map[int64]struct{}
+}
+
+// chainAccess scans a chain for the addresses its propagation reads
+// and writes. Register traffic is thread-private and needs no
+// analysis; only the Step cases that touch the memory store count.
+func chainAccess(ch []*vm.Batch) access {
+	a := access{reads: map[int64]struct{}{}, writes: map[int64]struct{}{}}
+	for _, b := range ch {
+		for i := range b.Events {
+			ev := &b.Events[i]
+			switch ev.Kind {
+			case vm.EvLoad:
+				a.reads[ev.SrcMem] = struct{}{}
+			case vm.EvStore:
+				a.writes[ev.DstMem] = struct{}{}
+			case vm.EvCas:
+				a.reads[ev.SrcMem] = struct{}{}
+				if ev.DstMem != vm.NoAddr {
+					a.writes[ev.DstMem] = struct{}{}
+				}
+			case vm.EvFlag:
+				if ev.DstMem != vm.NoAddr {
+					a.writes[ev.DstMem] = struct{}{}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// conflicts reports whether any chain's writes overlap another
+// chain's reads or writes — the condition under which concurrent
+// propagation could diverge from the inline order.
+func conflicts(chains [][]*vm.Batch) bool {
+	accs := make([]access, len(chains))
+	for i, ch := range chains {
+		accs[i] = chainAccess(ch)
+	}
+	for i := range accs {
+		for j := i + 1; j < len(accs); j++ {
+			if overlaps(accs[i].writes, accs[j].writes) ||
+				overlaps(accs[i].writes, accs[j].reads) ||
+				overlaps(accs[j].writes, accs[i].reads) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// overlaps reports whether the two address sets intersect.
+func overlaps(a, b map[int64]struct{}) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for addr := range a {
+		if _, ok := b[addr]; ok {
+			return true
+		}
+	}
+	return false
+}

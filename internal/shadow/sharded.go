@@ -1,0 +1,135 @@
+package shadow
+
+import "sync"
+
+// Sharded is a shadow memory partitioned by address range across
+// independently locked paged Mems. The offloaded DIFT pipeline's
+// workers (internal/pipeline) propagate different threads' batches
+// concurrently; their windows are conflict-checked to touch disjoint
+// addresses, and the per-shard locks make the page maps themselves
+// safe for the concurrent allocations those disjoint updates perform.
+//
+// Sharding is by page index, so neighbouring words share a shard (and
+// a lock acquisition pattern with spatial locality) while distinct
+// address ranges spread across shards.
+type Sharded[T comparable] struct {
+	shards []memShard[T]
+	mask   int64
+}
+
+type memShard[T comparable] struct {
+	mu  sync.Mutex
+	mem *Mem[T]
+	// Pad each shard to its own cache line so concurrent workers do
+	// not false-share the locks.
+	_ [64 - 8 - 8]byte
+}
+
+// NewSharded returns a sharded shadow memory with at least the given
+// shard count (rounded up to a power of two, minimum 1).
+func NewSharded[T comparable](shards int) *Sharded[T] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Sharded[T]{shards: make([]memShard[T], n), mask: int64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].mem = NewMem[T]()
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Sharded[T]) Shards() int { return len(s.shards) }
+
+func (s *Sharded[T]) shard(addr int64) *memShard[T] {
+	// Masking the page index keeps the shard non-negative for
+	// negative addresses too.
+	return &s.shards[(addr>>PageBits)&s.mask]
+}
+
+// Get returns the cell at addr (zero value if never set).
+func (s *Sharded[T]) Get(addr int64) T {
+	sh := s.shard(addr)
+	sh.mu.Lock()
+	v := sh.mem.Get(addr)
+	sh.mu.Unlock()
+	return v
+}
+
+// Set writes the cell at addr.
+func (s *Sharded[T]) Set(addr int64, v T) {
+	sh := s.shard(addr)
+	sh.mu.Lock()
+	sh.mem.Set(addr, v)
+	sh.mu.Unlock()
+}
+
+// Clear resets all shadow state.
+func (s *Sharded[T]) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.mem.Clear()
+		sh.mu.Unlock()
+	}
+}
+
+// Tainted returns the number of words currently holding a non-zero
+// cell.
+func (s *Sharded[T]) Tainted() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.mem.Tainted()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Pages returns the number of allocated shadow pages across shards.
+func (s *Sharded[T]) Pages() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.mem.Pages()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SizeWords estimates the shadow footprint in T-cells.
+func (s *Sharded[T]) SizeWords() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.mem.SizeWords()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Range calls f for every non-zero cell, shard by shard, holding the
+// shard's lock during its iteration; f must not call back into s. If
+// f returns false, iteration stops.
+func (s *Sharded[T]) Range(f func(addr int64, v T) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		stop := false
+		sh.mem.Range(func(addr int64, v T) bool {
+			if !f(addr, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}

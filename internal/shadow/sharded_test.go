@@ -1,0 +1,87 @@
+package shadow
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedRoundsToPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 1}, {1, 1}, {3, 4}, {8, 8}, {9, 16}} {
+		if got := NewSharded[bool](c.ask).Shards(); got != c.want {
+			t.Errorf("NewSharded(%d).Shards() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestShardedMatchesMemSequential(t *testing.T) {
+	s := NewSharded[int32](4)
+	m := NewMem[int32]()
+	// Mixed positive, negative, and page-boundary addresses.
+	addrs := []int64{0, 1, 1023, 1024, 1025, -1, -1024, -1025, 5 << 20, 3*1024 - 1, 3*1024 + 1}
+	for i, a := range addrs {
+		v := int32(i + 1)
+		s.Set(a, v)
+		m.Set(a, v)
+	}
+	for _, a := range addrs {
+		if s.Get(a) != m.Get(a) {
+			t.Fatalf("addr %d: sharded %d, mem %d", a, s.Get(a), m.Get(a))
+		}
+	}
+	if s.Tainted() != m.Tainted() {
+		t.Fatalf("tainted: sharded %d, mem %d", s.Tainted(), m.Tainted())
+	}
+	if s.SizeWords() != m.SizeWords() {
+		t.Fatalf("size: sharded %d, mem %d", s.SizeWords(), m.SizeWords())
+	}
+	// Unset and clear behave the same.
+	s.Set(addrs[0], 0)
+	m.Set(addrs[0], 0)
+	if s.Tainted() != m.Tainted() {
+		t.Fatal("tainted diverged after zero write")
+	}
+	got := map[int64]int32{}
+	s.Range(func(a int64, v int32) bool { got[a] = v; return true })
+	want := map[int64]int32{}
+	m.Range(func(a int64, v int32) bool { want[a] = v; return true })
+	if len(got) != len(want) {
+		t.Fatalf("range: %d cells vs %d", len(got), len(want))
+	}
+	for a, v := range want {
+		if got[a] != v {
+			t.Fatalf("range[%d] = %d, want %d", a, got[a], v)
+		}
+	}
+	s.Clear()
+	if s.Tainted() != 0 || s.Pages() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestShardedConcurrentDisjointWriters(t *testing.T) {
+	// The pipeline's contract: concurrent workers touch disjoint
+	// addresses; the shard locks must make the page maps safe anyway.
+	s := NewSharded[int64](8)
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * 1_000_000
+			for i := int64(0); i < perWriter; i++ {
+				s.Set(base+i*3, base+i) // stride across pages and shards
+				if got := s.Get(base + i*3); got != base+i {
+					t.Errorf("writer %d: readback %d != %d", w, got, base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := writers*perWriter - 1 // i=0 of writer 0 stores the zero value
+	if got := s.Tainted(); got != want {
+		t.Fatalf("tainted = %d, want %d", got, want)
+	}
+}

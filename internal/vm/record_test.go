@@ -1,0 +1,204 @@
+package vm
+
+import (
+	"testing"
+
+	"scaldift/internal/isa"
+)
+
+func recordRun(t *testing.T, text string, inputs []int64, batchEvents int, filter func(*Event) bool) []*Batch {
+	t.Helper()
+	p, err := isa.Assemble("t", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(p, Config{})
+	if inputs != nil {
+		m.SetInput(0, inputs)
+	}
+	var out []*Batch
+	rec := NewRecorder(batchEvents, filter, func(b *Batch) { out = append(out, b) })
+	m.AttachTool(rec)
+	if res := m.Run(); res.Failed {
+		t.Fatalf("run failed: %s", res.FailMsg)
+	}
+	rec.Flush()
+	return out
+}
+
+func TestRecorderSealsAtCapacity(t *testing.T) {
+	batches := recordRun(t, `
+    movi r1, 0
+loop:
+    movi r2, 10
+    bge r1, r2, done
+    addi r1, r1, 1
+    br loop
+done:
+    halt
+`, nil, 4, nil)
+	if len(batches) < 2 {
+		t.Fatalf("expected several batches, got %d", len(batches))
+	}
+	var last uint64
+	total := 0
+	for i, b := range batches {
+		if len(b.Events) == 0 || len(b.Events) > 4 {
+			t.Fatalf("batch %d has %d events, capacity 4", i, len(b.Events))
+		}
+		if b.Sync {
+			t.Fatalf("batch %d unexpectedly sync", i)
+		}
+		for _, ev := range b.Events {
+			if ev.Seq <= last {
+				t.Fatalf("sequence order violated: %d after %d", ev.Seq, last)
+			}
+			last = ev.Seq
+			total++
+		}
+	}
+	// Single-threaded, no filter: every non-blocked event recorded.
+	if total == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestRecorderGroupsCoverContiguousRanges(t *testing.T) {
+	// Two threads interleaving: every flush group's batches must
+	// jointly cover a contiguous Seq range, disjoint and increasing
+	// across groups.
+	batches := recordRun(t, `
+.data 0, 0
+    movi r10, 7
+    spawn r20, r10, child
+    movi r1, 0
+loop:
+    movi r2, 30
+    bge r1, r2, done
+    store r0, r1, 0
+    addi r1, r1, 1
+    br loop
+done:
+    join r20
+    halt
+child:
+    movi r1, 0
+cloop:
+    movi r2, 30
+    bge r1, r2, cdone
+    store r1, r1, 1
+    addi r1, r1, 1
+    br cloop
+cdone:
+    halt
+`, nil, 8, nil)
+	groups := map[uint64][]*Batch{}
+	var order []uint64
+	for _, b := range batches {
+		if _, ok := groups[b.Group]; !ok {
+			order = append(order, b.Group)
+		}
+		groups[b.Group] = append(groups[b.Group], b)
+	}
+	var prevMax uint64
+	for _, g := range order {
+		lo, hi := uint64(1<<62), uint64(0)
+		n := 0
+		for _, b := range groups[g] {
+			for _, ev := range b.Events {
+				if ev.Seq < lo {
+					lo = ev.Seq
+				}
+				if ev.Seq > hi {
+					hi = ev.Seq
+				}
+				n++
+			}
+		}
+		if lo <= prevMax {
+			t.Fatalf("group %d overlaps or precedes an earlier group (lo %d, prev max %d)", g, lo, prevMax)
+		}
+		prevMax = hi
+		_ = n
+	}
+}
+
+func TestRecorderSpawnIsSoloSyncBatch(t *testing.T) {
+	batches := recordRun(t, `
+    movi r10, 7
+    spawn r20, r10, child
+    join r20
+    halt
+child:
+    halt
+`, nil, 64, nil)
+	syncs := 0
+	for _, b := range batches {
+		if b.Sync {
+			syncs++
+			if len(b.Events) != 1 || b.Events[0].Kind != EvSpawn {
+				t.Fatalf("sync batch should hold exactly the spawn event, got %d events", len(b.Events))
+			}
+		}
+	}
+	if syncs != 1 {
+		t.Fatalf("expected 1 sync batch, got %d", syncs)
+	}
+}
+
+func TestRecorderFilterAndBlockedDrop(t *testing.T) {
+	// IN blocks once (empty channel at first attempt is impossible
+	// here since inputs preloaded) — instead check the filter drops
+	// what it is told to and blocked events never appear.
+	onlyStores := func(ev *Event) bool { return ev.Kind == EvStore }
+	batches := recordRun(t, `
+    in r1, 0
+    store r0, r1, 5
+    movi r2, 1
+    store r0, r2, 6
+    halt
+`, []int64{3}, 16, onlyStores)
+	n := 0
+	for _, b := range batches {
+		for _, ev := range b.Events {
+			if ev.Kind != EvStore {
+				t.Fatalf("filter leaked a %v event", ev.Kind)
+			}
+			if ev.Blocked {
+				t.Fatal("blocked event recorded")
+			}
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("recorded %d stores, want 2", n)
+	}
+}
+
+func TestRecorderFreeReusesStorage(t *testing.T) {
+	p := isa.MustAssemble("t", `
+    movi r1, 0
+loop:
+    movi r2, 100
+    bge r1, r2, done
+    addi r1, r1, 1
+    br loop
+done:
+    halt
+`)
+	m := MustNew(p, Config{})
+	var rec *Recorder
+	n := 0
+	rec = NewRecorder(8, nil, func(b *Batch) {
+		n += len(b.Events)
+		rec.Free(b) // consumer done with it immediately
+	})
+	m.AttachTool(rec)
+	if res := m.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	rec.Flush()
+	if n == 0 {
+		t.Fatal("no events seen")
+	}
+}
