@@ -29,9 +29,9 @@ var None = Parent{}
 
 type region struct {
 	parent Parent
-	endPC  int   // region closes when this PC is reached...
-	frame  int   // ...at this call depth
-	isCall bool  // call regions close on return (frame pop) instead
+	endPC  int  // region closes when this PC is reached...
+	frame  int  // ...at this call depth
+	isCall bool // call regions close on return (frame pop) instead
 }
 
 type threadState struct {
@@ -78,6 +78,27 @@ func (t *Tracker) state(tid int) *threadState {
 	return s
 }
 
+// ThreadTracker is one thread's view of a Tracker. Distinct threads'
+// handles may Observe concurrently from different goroutines: each
+// touches only its own region stack plus the tracker's immutable
+// postdominator tables. Obtain handles with Tracker.Thread on a
+// single goroutine before handing them out.
+type ThreadTracker struct {
+	t *Tracker
+	s *threadState
+}
+
+// Thread returns (creating if needed) the per-thread handle for tid.
+// Not safe to call concurrently with itself or with Tracker.Observe.
+func (t *Tracker) Thread(tid int) *ThreadTracker {
+	return &ThreadTracker{t: t, s: t.state(tid)}
+}
+
+// Observe is Tracker.Observe for this handle's thread.
+func (tt *ThreadTracker) Observe(pc int, n uint64, op isa.Op, taken bool) Parent {
+	return tt.t.observe(tt.s, pc, n, op, taken)
+}
+
 // Observe processes one executed instruction: pc is its static index,
 // n its per-thread dynamic number, and op its opcode. It returns the
 // instruction's dynamic control parent (computed before the
@@ -86,7 +107,11 @@ func (t *Tracker) state(tid int) *threadState {
 // Observe must be called for every instruction the thread executes,
 // in execution order.
 func (t *Tracker) Observe(tid int, pc int, n uint64, op isa.Op, taken bool) Parent {
-	s := t.state(tid)
+	return t.observe(t.state(tid), pc, n, op, taken)
+}
+
+// observe is the shared implementation over an explicit thread state.
+func (t *Tracker) observe(s *threadState, pc int, n uint64, op isa.Op, taken bool) Parent {
 	// Close regions whose end has been reached at the same frame, or
 	// whose frame has been popped entirely.
 	for len(s.stack) > 0 {

@@ -1,0 +1,116 @@
+package ddg
+
+import "sort"
+
+// Sharded is a per-thread-sharded Compact: one independent compact
+// store per thread, so the offloaded tracing stage's workers can
+// append different threads' records concurrently (Compact itself is
+// single-writer). Records of one thread are encoded exactly as a lone
+// Compact would encode them — chunking and delta encoding are
+// per-thread in both — so total BytesWritten matches the inline
+// tracer byte for byte.
+//
+// When capBytes > 0 each shard evicts independently over capBytes:
+// the retained execution window is bounded per thread rather than
+// globally (a lone Compact rings over the global append order).
+type Sharded struct {
+	capBytes int
+	shards   map[int]*Compact
+}
+
+// NewSharded creates an empty sharded store; capBytes <= 0 disables
+// eviction, otherwise each per-thread shard rings over capBytes.
+func NewSharded(capBytes int) *Sharded {
+	return &Sharded{capBytes: capBytes, shards: make(map[int]*Compact)}
+}
+
+// Shard returns (creating if needed) the store for one thread. Create
+// shards on a single goroutine before concurrent appends; the
+// returned Compact is single-writer.
+func (s *Sharded) Shard(tid int) *Compact {
+	c, ok := s.shards[tid]
+	if !ok {
+		c = NewCompact(s.capBytes)
+		s.shards[tid] = c
+	}
+	return c
+}
+
+// Append stores one record into the owning thread's shard (single
+// goroutine; use Shard for concurrent per-thread writers).
+func (s *Sharded) Append(use ID, usePC int32, deps []Dep, rlDelta uint64) {
+	s.Shard(use.TID()).Append(use, usePC, deps, rlDelta)
+}
+
+// Threads implements Source.
+func (s *Sharded) Threads() []int {
+	out := make([]int, 0, len(s.shards))
+	for tid, c := range s.shards {
+		if len(c.Threads()) > 0 {
+			out = append(out, tid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Window implements Source.
+func (s *Sharded) Window(tid int) (uint64, uint64) {
+	if c, ok := s.shards[tid]; ok {
+		return c.Window(tid)
+	}
+	return 0, 0
+}
+
+// DepsOf implements Source.
+func (s *Sharded) DepsOf(id ID, yield func(Dep)) {
+	if c, ok := s.shards[id.TID()]; ok {
+		c.DepsOf(id, yield)
+	}
+}
+
+// NodePC implements Source.
+func (s *Sharded) NodePC(id ID) (int32, bool) {
+	if c, ok := s.shards[id.TID()]; ok {
+		return c.NodePC(id)
+	}
+	return 0, false
+}
+
+// BytesWritten sums cumulative encoded bytes across shards.
+func (s *Sharded) BytesWritten() uint64 {
+	var n uint64
+	for _, c := range s.shards {
+		n += c.BytesWritten()
+	}
+	return n
+}
+
+// CurrentBytes sums the retained encoded size across shards.
+func (s *Sharded) CurrentBytes() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.CurrentBytes()
+	}
+	return n
+}
+
+// Records sums stored records across shards.
+func (s *Sharded) Records() uint64 {
+	var n uint64
+	for _, c := range s.shards {
+		n += c.Records()
+	}
+	return n
+}
+
+// EvictedChunks sums ring evictions across shards.
+func (s *Sharded) EvictedChunks() uint64 {
+	var n uint64
+	for _, c := range s.shards {
+		n += c.EvictedChunks()
+	}
+	return n
+}
+
+var _ Source = (*Sharded)(nil)

@@ -1,0 +1,170 @@
+package ddg
+
+import (
+	"scaldift/internal/cdep"
+	"scaldift/internal/isa"
+	"scaldift/internal/shadow"
+	"scaldift/internal/vm"
+)
+
+// This file splits the Extractor's work into the two halves the
+// offloaded tracing stage (internal/ontrac) needs:
+//
+//   - ThreadExtractor: the thread-private part — register definition
+//     tags and the online control-dependence stack. One extractor per
+//     thread; distinct threads' extractors may run concurrently in
+//     worker goroutines over a recorded batch stream.
+//   - MemResolver: the shared part — last-writer tags for memory
+//     words. Memory dependences cross threads, so they are resolved
+//     at window boundaries by one goroutine walking the window's
+//     events in global Seq order, which reproduces the inline
+//     extractor's answers exactly.
+//
+// The inline Extractor (track.go) and this split front end implement
+// the same dependence semantics; the differential suite in
+// internal/ontrac holds them to identical output.
+
+// TraceRelevant is the tracing-relevance filter for vm.Recorder,
+// beside dift.Relevant: it selects the events dependence extraction
+// consumes. Unlike taint propagation, tracing needs every completed
+// instruction — the control-dependence tracker closes predicate
+// regions by watching each executed PC, and bytes-per-instruction
+// accounting counts them all — so only blocked retries are dropped.
+func TraceRelevant(ev *vm.Event) bool { return !ev.Blocked }
+
+// Extracted is one instruction instance after thread-local
+// extraction: its identity, the dependences resolvable from
+// thread-private state (register defs, in order, and the control
+// parent), and the event itself for the window-boundary memory merge.
+// Ev points into a recorder batch: it is valid only until the batch
+// is freed, so Extracted values must not outlive their window.
+type Extracted struct {
+	ID   ID
+	PC   int32
+	Ev   *vm.Event
+	Deps []Dep // register data dependences, source order
+	Ctrl cdep.Parent
+}
+
+// ThreadExtractor extracts one thread's thread-local dependences from
+// a recorded event stream. It is NOT a vm.Tool: the offloaded stage
+// drives it with each of the thread's events in program order,
+// potentially from a different worker goroutine per window (windows
+// are barriered, so the state needs no locking).
+type ThreadExtractor struct {
+	tid     int
+	regTags [isa.NumRegs]tag
+	ctrl    *cdep.ThreadTracker // nil when control deps are off
+}
+
+// NewThreadExtractor builds the extractor for one thread. ctrl may be
+// nil to skip control dependences.
+func NewThreadExtractor(tid int, ctrl *cdep.ThreadTracker) *ThreadExtractor {
+	return &ThreadExtractor{tid: tid, ctrl: ctrl}
+}
+
+// Extract processes one non-blocked event of this thread, appending
+// its register dependences to arena and returning the extracted
+// record (whose Deps alias the appended region) plus the grown arena.
+// Size the arena for 2·events to keep earlier records' aliases valid.
+// The instance number is taken from ev.ThreadSeq.
+func (x *ThreadExtractor) Extract(ev *vm.Event, arena []Dep) (Extracted, []Dep) {
+	n := ev.ThreadSeq
+	id := MakeID(x.tid, n)
+	pc := int32(ev.PC)
+
+	var parent cdep.Parent
+	if x.ctrl != nil {
+		parent = x.ctrl.Observe(ev.PC, n, ev.Instr.Op, ev.Taken)
+	}
+
+	start := len(arena)
+	seen := [2]int{-1, -1}
+	for i := 0; i < ev.NSrc; i++ {
+		r := ev.SrcRegs[i]
+		if r == seen[0] || r == seen[1] {
+			continue // same register twice: one edge
+		}
+		seen[i] = r
+		if tg := x.regTags[r]; tg.id != 0 {
+			arena = append(arena, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: Data})
+		}
+	}
+	if ev.DstReg > 0 { // r0 is the discard register
+		x.regTags[ev.DstReg] = tag{id: id, pc: pc}
+	}
+	return Extracted{ID: id, PC: pc, Ev: ev, Deps: arena[start:len(arena):len(arena)], Ctrl: parent}, arena
+}
+
+// SeedSpawnArg records that this thread's r1 was defined by a spawn
+// instance in another thread. The offloaded stage calls it while
+// applying a solo spawn batch — a global ordering point, so no other
+// goroutine touches the state.
+func (x *ThreadExtractor) SeedSpawnArg(def ID, defPC int32) {
+	x.regTags[1] = tag{id: def, pc: defPC}
+}
+
+// MemResolver owns the last-writer (and, with WAR/WAW tracking, the
+// last-reader) tags of memory words — the one piece of extraction
+// state shared across threads. Resolve must be called for the
+// window's events in global Seq order, on a single goroutine; it then
+// reproduces exactly the memory dependences the inline Extractor used
+// to compute itself (the inline Extractor is now built from this
+// resolver plus per-thread extractors, so the semantics exist once).
+type MemResolver struct {
+	memTags  *shadow.Mem[tag]
+	readTags *shadow.Mem[tag] // last reader per word; nil without WAR/WAW
+}
+
+// NewMemResolver returns an empty resolver. trackWAR additionally
+// resolves write-after-read and write-after-write edges on memory,
+// the extension that makes slicing usable for race detection (§3.1).
+func NewMemResolver(trackWAR bool) *MemResolver {
+	r := &MemResolver{memTags: shadow.NewMem[tag]()}
+	if trackWAR {
+		r.readTags = shadow.NewMem[tag]()
+	}
+	return r
+}
+
+// Resolve completes rec's dependence list in the extractor's order —
+// register deps, then the memory dependence, then the control parent,
+// then WAW/WAR when tracked — appending into buf (reused by the
+// caller per event), and applies the event's memory reads and writes
+// to the shared tags.
+func (r *MemResolver) Resolve(rec *Extracted, buf []Dep) []Dep {
+	buf = append(buf, rec.Deps...)
+	ev := rec.Ev
+	if ev.SrcMem != vm.NoAddr {
+		if tg := r.memTags.Get(ev.SrcMem); tg.id != 0 {
+			buf = append(buf, Dep{Use: rec.ID, UsePC: rec.PC, Def: tg.id, DefPC: tg.pc, Kind: Data})
+		}
+		if r.readTags != nil {
+			r.readTags.Set(ev.SrcMem, tag{id: rec.ID, pc: rec.PC})
+		}
+	}
+	if rec.Ctrl.N != 0 {
+		buf = append(buf, Dep{Use: rec.ID, UsePC: rec.PC,
+			Def: MakeID(rec.ID.TID(), rec.Ctrl.N), DefPC: rec.Ctrl.PC, Kind: Control})
+	}
+	if ev.DstMem != vm.NoAddr {
+		if r.readTags != nil {
+			if tg := r.memTags.Get(ev.DstMem); tg.id != 0 {
+				buf = append(buf, Dep{Use: rec.ID, UsePC: rec.PC, Def: tg.id, DefPC: tg.pc, Kind: WAW})
+			}
+			if tg := r.readTags.Get(ev.DstMem); tg.id != 0 && tg.id != rec.ID {
+				buf = append(buf, Dep{Use: rec.ID, UsePC: rec.PC, Def: tg.id, DefPC: tg.pc, Kind: WAR})
+			}
+		}
+		r.memTags.Set(ev.DstMem, tag{id: rec.ID, pc: rec.PC})
+	}
+	return buf
+}
+
+// Reset clears the shared memory tags.
+func (r *MemResolver) Reset() {
+	r.memTags.Clear()
+	if r.readTags != nil {
+		r.readTags.Clear()
+	}
+}

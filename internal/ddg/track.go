@@ -2,9 +2,9 @@ package ddg
 
 import (
 	"scaldift/internal/cdep"
-	"scaldift/internal/isa"
-	"scaldift/internal/shadow"
 	"scaldift/internal/vm"
+
+	"scaldift/internal/isa"
 )
 
 // Sink consumes the dependence stream the Extractor produces. Node is
@@ -15,30 +15,35 @@ type Sink interface {
 	Deps(id ID, pc int32, deps []Dep)
 }
 
-// tag records the last definition of a location.
+// tag records the last definition (or read) of a location.
 type tag struct {
 	id ID
 	pc int32
 }
 
 // Extractor is a vm.Tool that converts the instruction event stream
-// into dynamic dependences: it shadows every register and memory word
-// with its most recent definer, consults the online control-
-// dependence tracker, and reports (use ← def) edges to a Sink. It is
-// the common front end of both ONTRAC (online, optimized) and the
+// into dynamic dependences, reporting (use ← def) edges to a Sink. It
+// is the common front end of both ONTRAC (online, optimized) and the
 // offline full tracer.
+//
+// It is a composition of the two split halves in stream.go — a
+// ThreadExtractor per thread (register tags, control-dependence
+// stacks) and one MemResolver (memory tags) — driven inline, event by
+// event. The offloaded tracing stage (internal/ontrac) drives the
+// same halves decoupled: extractors in parallel workers, the resolver
+// in a global-Seq merge. The dependence semantics therefore exist
+// exactly once.
 type Extractor struct {
 	prog *isa.Program
 	ctrl *cdep.Tracker
 	sink Sink
 
-	regTags  [][isa.NumRegs]tag
-	memTags  *shadow.Mem[tag]
-	counts   []uint64
-	depBuf   []Dep
-	instrs   uint64
-	trackWAR bool
-	readTags *shadow.Mem[tag] // last reader per word (WAR edges)
+	threads []*ThreadExtractor
+	res     *MemResolver
+	counts  []uint64
+	arena   []Dep
+	depBuf  []Dep
+	instrs  uint64
 }
 
 // ExtractorOpts configures optional dependence classes.
@@ -54,16 +59,12 @@ type ExtractorOpts struct {
 // NewExtractor builds an extractor for prog reporting to sink.
 func NewExtractor(prog *isa.Program, sink Sink, opts ExtractorOpts) *Extractor {
 	e := &Extractor{
-		prog:     prog,
-		sink:     sink,
-		memTags:  shadow.NewMem[tag](),
-		trackWAR: opts.WARWAW,
+		prog: prog,
+		sink: sink,
+		res:  NewMemResolver(opts.WARWAW),
 	}
 	if opts.ControlDeps {
 		e.ctrl = cdep.New(prog)
-	}
-	if opts.WARWAW {
-		e.readTags = shadow.NewMem[tag]()
 	}
 	return e
 }
@@ -72,19 +73,30 @@ func NewExtractor(prog *isa.Program, sink Sink, opts ExtractorOpts) *Extractor {
 // of bytes-per-instruction).
 func (e *Extractor) Instrs() uint64 { return e.instrs }
 
-// LastID returns the id of the most recent instruction of a thread.
+// LastID returns the id of the most recent instruction of a thread;
+// the zero ID means the thread never executed one (covering threads
+// only known through a spawn that seeded their registers).
 func (e *Extractor) LastID(tid int) ID {
-	if tid >= len(e.counts) {
+	if tid >= len(e.counts) || e.counts[tid] == 0 {
 		return 0
 	}
 	return MakeID(tid, e.counts[tid])
 }
 
-func (e *Extractor) grow(tid int) {
-	for tid >= len(e.counts) {
+// thread returns (creating if needed) tid's per-thread extractor.
+func (e *Extractor) thread(tid int) *ThreadExtractor {
+	for tid >= len(e.threads) {
+		e.threads = append(e.threads, nil)
 		e.counts = append(e.counts, 0)
-		e.regTags = append(e.regTags, [isa.NumRegs]tag{})
 	}
+	if e.threads[tid] == nil {
+		var ct *cdep.ThreadTracker
+		if e.ctrl != nil {
+			ct = e.ctrl.Thread(tid)
+		}
+		e.threads[tid] = NewThreadExtractor(tid, ct)
+	}
+	return e.threads[tid]
 }
 
 // OnEvent implements vm.Tool.
@@ -94,77 +106,26 @@ func (e *Extractor) OnEvent(m *vm.Machine, ev *vm.Event) {
 	}
 	e.instrs++
 	tid := ev.TID
-	e.grow(tid)
-	e.counts[tid]++
-	n := e.counts[tid]
-	id := MakeID(tid, n)
-	pc := int32(ev.PC)
-	regs := &e.regTags[tid]
-
-	var parent cdep.Parent
-	if e.ctrl != nil {
-		parent = e.ctrl.Observe(tid, ev.PC, n, ev.Instr.Op, ev.Taken)
-	}
-	e.sink.Node(id, pc, ev)
-
-	deps := e.depBuf[:0]
-	seen := [2]int{-1, -1}
-	for i := 0; i < ev.NSrc; i++ {
-		r := ev.SrcRegs[i]
-		if r == seen[0] || r == seen[1] {
-			continue // same register twice: one edge
-		}
-		seen[i] = r
-		if tg := regs[r]; tg.id != 0 {
-			deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: Data})
-		}
-	}
-	if ev.SrcMem != vm.NoAddr {
-		if tg := e.memTags.Get(ev.SrcMem); tg.id != 0 {
-			deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: Data})
-		}
-		if e.trackWAR {
-			e.readTags.Set(ev.SrcMem, tag{id: id, pc: pc})
-		}
-	}
-	if parent.N != 0 {
-		deps = append(deps, Dep{Use: id, UsePC: pc,
-			Def: MakeID(tid, parent.N), DefPC: parent.PC, Kind: Control})
-	}
-	if ev.DstMem != vm.NoAddr {
-		if e.trackWAR {
-			if tg := e.memTags.Get(ev.DstMem); tg.id != 0 {
-				deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: WAW})
-			}
-			if tg := e.readTags.Get(ev.DstMem); tg.id != 0 && tg.id != id {
-				deps = append(deps, Dep{Use: id, UsePC: pc, Def: tg.id, DefPC: tg.pc, Kind: WAR})
-			}
-		}
-		e.memTags.Set(ev.DstMem, tag{id: id, pc: pc})
-	}
-	if ev.DstReg > 0 { // r0 is the discard register
-		regs[ev.DstReg] = tag{id: id, pc: pc}
-	}
+	x := e.thread(tid)
+	var rec Extracted
+	rec, e.arena = x.Extract(ev, e.arena[:0])
+	e.counts[tid] = ev.ThreadSeq
+	e.sink.Node(rec.ID, rec.PC, ev)
+	deps := e.res.Resolve(&rec, e.depBuf[:0])
 	if ev.Kind == vm.EvSpawn {
 		// The child's r1 receives the argument: its definition site
 		// is this spawn instance.
-		child := int(ev.DstVal)
-		e.grow(child)
-		e.regTags[child][1] = tag{id: id, pc: pc}
+		e.thread(int(ev.DstVal)).SeedSpawnArg(rec.ID, rec.PC)
 	}
-
-	e.sink.Deps(id, pc, deps)
+	e.sink.Deps(rec.ID, rec.PC, deps)
 	e.depBuf = deps[:0]
 }
 
 // Reset clears all shadow state (between runs on one machine).
 func (e *Extractor) Reset() {
-	e.regTags = nil
+	e.threads = nil
 	e.counts = nil
-	e.memTags.Clear()
-	if e.readTags != nil {
-		e.readTags.Clear()
-	}
+	e.res.Reset()
 	if e.ctrl != nil {
 		e.ctrl.Reset()
 	}

@@ -305,18 +305,20 @@ func TestCasFailureSemantics(t *testing.T) {
 	}
 }
 
-// TestCasSuccessWritesExpectedRegLabel pins the success path: the
-// stored word is the immediate (a constant), but the engine labels
-// DstMem with the *expected-value register's* label — so a tainted
-// expected register taints the swapped-in word, and an untainted one
-// clears a previously tainted word.
-func TestCasSuccessWritesExpectedRegLabel(t *testing.T) {
-	// Tainted expected register → memory becomes tainted.
+// TestCasSuccessStoresConstant pins the success path: the stored word
+// is the immediate — a constant — so under ClearOnConst the cell's
+// label is cleared exactly like a MOVI destination, tainted expected
+// register or not. (The engine used to label the cell from the
+// expected-value register unconditionally, over-tainting a constant
+// store.)
+func TestCasSuccessStoresConstant(t *testing.T) {
+	// Tainted expected register → memory still cleared: the swapped-in
+	// word is the constant 9, not the register.
 	p := isa.MustAssemble("t", `
 .data 0
     in r2, 0            ; tainted expected value
     store r0, r2, 0     ; mem[0] = input (tainted)
-    cas r3, r0, r2, 9   ; succeeds: mem[0] = 9, label = label(r2)
+    cas r3, r0, r2, 9   ; succeeds: mem[0] = 9 (a constant)
     halt
 `)
 	m := vm.MustNew(p, vm.Config{})
@@ -329,34 +331,99 @@ func TestCasSuccessWritesExpectedRegLabel(t *testing.T) {
 	if m.Mem[0] != 9 {
 		t.Fatal("CAS should have succeeded")
 	}
-	if !e.MemTaint(0) {
-		t.Fatal("successful CAS labels DstMem from the expected register (tainted)")
+	if e.MemTaint(0) {
+		t.Fatal("successful CAS stores a constant: ClearOnConst must clear the cell")
 	}
+	if !e.RegTaint(0, 3) {
+		t.Fatal("Rd still carries the old (tainted) memory label")
+	}
+}
 
-	// Untainted expected register → previously tainted memory cleared.
-	p3 := isa.MustAssemble("t", `
-.data 5
-    in r2, 0            ; tainted, value 5
-    store r0, r2, 0     ; mem[0] = 5, tainted
-    movi r4, 5          ; untainted expected value matching mem[0]
-    cas r3, r0, r4, 9   ; succeeds: label(mem[0]) = label(r4) = clean
+// TestCasSuccessStickyKeepsGateDependence pins the sticky ablation
+// (ClearOnConst off): the cell keeps a conservative dependence on the
+// expected-value register whose comparison gated the swap — its label
+// read BEFORE the Rd update, so Rd == Rs2 does not leak the old
+// value's label into the cell (the aliasing bug fixed in Step).
+func TestCasSuccessStickyKeepsGateDependence(t *testing.T) {
+	sticky := Policy{ClearOnConst: false}
+
+	// Tainted expected register: the swapped cell depends on the gate.
+	p := isa.MustAssemble("t", `
+.data 0
+    in r2, 0            ; tainted expected value
+    store r0, r2, 0     ; mem[0] = input (tainted)
+    cas r3, r0, r2, 9   ; succeeds
     halt
 `)
-	m3 := vm.MustNew(p3, vm.Config{})
-	m3.SetInput(0, []int64{5})
-	e3 := NewEngine[bool](Bool{}, DefaultPolicy())
-	m3.AttachTool(e3)
-	if res := m3.Run(); res.Failed {
+	m := vm.MustNew(p, vm.Config{})
+	m.SetInput(0, []int64{5})
+	e := NewEngine[bool](Bool{}, sticky)
+	m.AttachTool(e)
+	if res := m.Run(); res.Failed {
 		t.Fatal(res.FailMsg)
 	}
-	if m3.Mem[0] != 9 {
+	if !e.MemTaint(0) {
+		t.Fatal("sticky CAS must keep the expected register's label on the cell")
+	}
+
+	// Rd == Rs2 with a clean expected register over tainted memory:
+	// the cell must take the register's PRE-update (clean) label, not
+	// the tainted old value that lands in Rd by the same instruction.
+	p2 := isa.MustAssemble("t", `
+.data 0
+    in r3, 0            ; tainted, value 5
+    store r0, r3, 0     ; mem[0] = 5, tainted
+    movi r2, 5          ; clean expected value
+    cas r2, r0, r2, 9   ; Rd == Rs2, succeeds
+    halt
+`)
+	m2 := vm.MustNew(p2, vm.Config{})
+	m2.SetInput(0, []int64{5})
+	e2 := NewEngine[bool](Bool{}, sticky)
+	m2.AttachTool(e2)
+	if res := m2.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	if m2.Mem[0] != 9 {
 		t.Fatal("CAS should have succeeded")
 	}
-	if e3.MemTaint(0) {
-		t.Fatal("successful CAS with clean expected register must clear the memory label")
+	if !e2.RegTaint(0, 2) {
+		t.Fatal("Rd must carry the old (tainted) memory label")
 	}
-	if !e3.RegTaint(0, 3) {
-		t.Fatal("Rd still carries the old (tainted) memory label")
+	if e2.MemTaint(0) {
+		t.Fatal("Rd == Rs2 aliasing: cell took the post-update label instead of the clean pre-CAS one")
+	}
+}
+
+// TestDiscardRegisterNeverTainted pins the r0 rule: the machine
+// discards writes to r0 and it always reads 0, so the engine must not
+// label it — a discarded tainted computation used to leave a sticky
+// label on r0 that falsely tainted every later use of the constant 0.
+func TestDiscardRegisterNeverTainted(t *testing.T) {
+	p := isa.MustAssemble("t", `
+    in r2, 0            ; tainted
+    add r0, r2, r2      ; discarded computation over tainted data
+    add r5, r0, r0      ; r5 = 0 + 0, a constant
+    out r5, 1
+    halt
+`)
+	m := vm.MustNew(p, vm.Config{})
+	m.SetInput(0, []int64{5})
+	e := NewEngine[bool](Bool{}, DefaultPolicy())
+	sink := &CollectSink[bool]{}
+	e.AddSink(sink)
+	m.AttachTool(e)
+	if res := m.Run(); res.Failed {
+		t.Fatal(res.FailMsg)
+	}
+	if e.RegTaint(0, 0) {
+		t.Fatal("discard register r0 carries a label")
+	}
+	if e.RegTaint(0, 5) {
+		t.Fatal("constant computed from r0 is tainted")
+	}
+	if len(sink.Outputs) != 1 || sink.Outputs[0] {
+		t.Fatalf("output of a constant reported tainted: %v", sink.Outputs)
 	}
 }
 

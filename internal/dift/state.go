@@ -42,11 +42,16 @@ func joinSrc[L comparable](dom Domain[L], regs *[isa.NumRegs]L, ev *vm.Event) L 
 func Step[L comparable](dom Domain[L], pol Policy, bank RegBank[L], mem Store[L], sinks []Sink[L], ev *vm.Event) {
 	var zero L
 	regs := bank.Regs(ev.TID)
+	// Register label writes are guarded with DstReg > 0: r0 is the
+	// discard register — the machine drops writes to it and it always
+	// reads 0 — so labeling it would let a discarded computation
+	// over-taint every later use of the constant 0 (regs[0] stays at
+	// the zero label forever, matching the value).
 	switch ev.Kind {
 	case vm.EvInput:
-		if ev.DstReg >= 0 && ev.Instr.Op == isa.IN {
+		if ev.DstReg > 0 && ev.Instr.Op == isa.IN {
 			regs[ev.DstReg] = dom.Transfer(ev, dom.Source(ev))
-		} else if ev.DstReg >= 0 {
+		} else if ev.DstReg > 0 {
 			regs[ev.DstReg] = zero // INAVAIL is not a source
 		}
 	case vm.EvCompute, vm.EvCas:
@@ -57,21 +62,42 @@ func Step[L comparable](dom Domain[L], pol Policy, bank RegBank[L], mem Store[L]
 		if ev.SrcMem != vm.NoAddr { // CAS reads memory too
 			src = dom.Join(src, mem.Get(ev.SrcMem))
 		}
-		if ev.NSrc == 0 && ev.SrcMem == vm.NoAddr && pol.ClearOnConst {
-			regs[ev.DstReg] = zero
-		} else {
-			regs[ev.DstReg] = dom.Transfer(ev, src)
+		// Read the expected-value register's label BEFORE the Rd
+		// update: when Rd == Rs2 the memory write below must see the
+		// pre-CAS label, not the label of the old value that just
+		// landed in Rd (a former aliasing bug, pinned by the Rd == Rs2
+		// CAS tests).
+		var srcM L
+		if ev.DstMem != vm.NoAddr {
+			srcM = regs[int(ev.Instr.Rs2)]
 		}
-		if ev.DstMem != vm.NoAddr { // CAS swap wrote memory
-			srcM := regs[int(ev.Instr.Rs2)]
-			mem.Set(ev.DstMem, dom.Transfer(ev, srcM))
+		if ev.DstReg > 0 {
+			if ev.NSrc == 0 && ev.SrcMem == vm.NoAddr && pol.ClearOnConst {
+				regs[ev.DstReg] = zero
+			} else {
+				regs[ev.DstReg] = dom.Transfer(ev, src)
+			}
+		}
+		if ev.DstMem != vm.NoAddr {
+			// CAS success swapped the *constant* Imm into the cell
+			// (exec.go stores ins.Imm). Under ClearOnConst the cell is
+			// therefore cleared, exactly like a MOVI destination; with
+			// sticky labels the cell keeps a conservative dependence on
+			// the expected-value register whose comparison gated the
+			// swap. Labeling the cell with Rs2's label unconditionally
+			// (the old rule) over-tainted a constant store.
+			if pol.ClearOnConst {
+				mem.Set(ev.DstMem, zero)
+			} else {
+				mem.Set(ev.DstMem, dom.Transfer(ev, srcM))
+			}
 		}
 	case vm.EvLoad:
 		src := mem.Get(ev.SrcMem)
 		if pol.TrackAddresses && ev.AddrReg >= 0 {
 			src = dom.Join(src, regs[ev.AddrReg])
 		}
-		if ev.DstReg >= 0 {
+		if ev.DstReg > 0 {
 			regs[ev.DstReg] = dom.Transfer(ev, src)
 		}
 	case vm.EvStore:
@@ -97,7 +123,7 @@ func Step[L comparable](dom Domain[L], pol Policy, bank RegBank[L], mem Store[L]
 		// its label to the new thread's register file.
 		child := int(ev.DstVal)
 		arg := regs[int(ev.Instr.Rs1)]
-		if ev.DstReg >= 0 {
+		if ev.DstReg > 0 {
 			regs[ev.DstReg] = zero // tid is not input-derived
 		}
 		bank.Regs(child)[1] = arg

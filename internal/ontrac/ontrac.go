@@ -106,12 +106,23 @@ type loadState struct {
 	def   ddg.ID // its memory dependence def
 }
 
-// Tracer is the ONTRAC tool: attach via Tool() to a vm.Machine.
+// depAppender is where Deps sends the records that survive elision:
+// the circular buffer inline, or the offloaded stage's per-window
+// staging area (which later writes per-thread ddg.Sharded shards).
+type depAppender interface {
+	Append(use ddg.ID, usePC int32, deps []ddg.Dep, rlDelta uint64)
+}
+
+// Tracer is the ONTRAC elision/storage core. Inline (New) it is
+// driven by its own extractor — attach via Tool() to a vm.Machine;
+// offloaded (NewOffloaded) the batched pipeline drives Node/Deps
+// downstream of the execution thread, with ex and buf nil.
 type Tracer struct {
 	prog *isa.Program
 	opts Options
-	buf  *ddg.Compact
-	ex   *ddg.Extractor
+	buf  *ddg.Compact // inline circular buffer; nil when offloaded
+	out  depAppender
+	ex   *ddg.Extractor // inline front end; nil when offloaded
 
 	// O1 state.
 	staticPairs map[[2]int32]bool
@@ -131,21 +142,29 @@ type Tracer struct {
 	stats Stats
 }
 
-// New builds a tracer for prog.
+// New builds an inline tracer for prog.
 func New(prog *isa.Program, opts Options) *Tracer {
+	t := newTracer(prog, opts)
+	t.buf = ddg.NewCompact(opts.BufferBytes)
+	t.out = t.buf
+	t.ex = ddg.NewExtractor(prog, t, ddg.ExtractorOpts{ControlDeps: opts.ControlDeps})
+	return t
+}
+
+// newTracer builds the elision/filter state shared by the inline and
+// offloaded front ends; the caller wires buf/out/ex.
+func newTracer(prog *isa.Program, opts Options) *Tracer {
 	if opts.DictThreshold <= 0 {
 		opts.DictThreshold = 2
 	}
 	t := &Tracer{
 		prog:       prog,
 		opts:       opts,
-		buf:        ddg.NewCompact(opts.BufferBytes),
 		dictCounts: make(map[dictKey]int),
 		dict:       make(map[dictKey]bool),
 		dictByUse:  make(map[int32][]dictKey),
 		loads:      make(map[[2]int32]*loadState),
 	}
-	t.ex = ddg.NewExtractor(prog, t, ddg.ExtractorOpts{ControlDeps: opts.ControlDeps})
 	if opts.ElideStaticBlockDeps {
 		cfg := isa.BuildCFG(prog)
 		t.staticPairs = make(map[[2]int32]bool)
@@ -174,20 +193,27 @@ func New(prog *isa.Program, opts Options) *Tracer {
 }
 
 // Tool returns the vm.Tool to attach (the underlying extractor).
+// Inline tracers only.
 func (t *Tracer) Tool() vm.Tool { return t.ex }
 
-// Buffer exposes the circular buffer (statistics, window).
+// Buffer exposes the circular buffer (statistics, window). Inline
+// tracers only; the offloaded stage exposes Shards instead.
 func (t *Tracer) Buffer() *ddg.Compact { return t.buf }
 
 // LastID returns the most recent instance id of a thread, usable as
 // a slicing criterion.
 func (t *Tracer) LastID(tid int) ddg.ID { return t.ex.LastID(tid) }
 
-// Stats returns a snapshot of the tracer's counters.
+// Stats returns a snapshot of the tracer's counters. The offloaded
+// stage fills Instrs and BytesWritten from its own accounting.
 func (t *Tracer) Stats() Stats {
 	s := t.stats
-	s.Instrs = t.ex.Instrs()
-	s.BytesWritten = t.buf.BytesWritten()
+	if t.ex != nil {
+		s.Instrs = t.ex.Instrs()
+	}
+	if t.buf != nil {
+		s.BytesWritten = t.buf.BytesWritten()
+	}
 	s.DictSize = len(t.dict)
 	return s
 }
@@ -294,7 +320,7 @@ func (t *Tracer) Deps(id ddg.ID, pc int32, deps []ddg.Dep) {
 		return
 	}
 	t.stats.DepsStored += uint64(len(keep))
-	t.buf.Append(id, pc, keep, rlDelta)
+	t.out.Append(id, pc, keep, rlDelta)
 }
 
 var _ ddg.Sink = (*Tracer)(nil)

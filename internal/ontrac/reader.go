@@ -2,30 +2,34 @@ package ontrac
 
 import "scaldift/internal/ddg"
 
-// Reader adapts the circular buffer into a ddg.Source for slicing,
-// re-synthesizing the edges O1 and O2 elided. Because fully elided
-// instances have no record at all, reconstruction needs the node's
-// static PC from the traversal context; DepsOfHinted supplies it (the
-// slicer learns each def's PC from the incoming edge).
+// Reader adapts a dependence store into a ddg.Source for slicing,
+// re-synthesizing the edges O1 and O2 elided. It reads raw records
+// from any ddg.Source — the inline tracer's circular buffer or the
+// offloaded stage's per-thread shards — plus the owning tracer's
+// reconstruction tables. Because fully elided instances have no
+// record at all, reconstruction needs the node's static PC from the
+// traversal context; DepsOfHinted supplies it (the slicer learns each
+// def's PC from the incoming edge).
 type Reader struct {
-	t *Tracer
+	t   *Tracer
+	src ddg.Source
 }
 
 // Reader returns the reconstructing view of the tracer's buffer.
-func (t *Tracer) Reader() *Reader { return &Reader{t: t} }
+func (t *Tracer) Reader() *Reader { return &Reader{t: t, src: t.buf} }
 
 // Threads implements ddg.Source.
-func (r *Reader) Threads() []int { return r.t.buf.Threads() }
+func (r *Reader) Threads() []int { return r.src.Threads() }
 
 // Window implements ddg.Source.
-func (r *Reader) Window(tid int) (uint64, uint64) { return r.t.buf.Window(tid) }
+func (r *Reader) Window(tid int) (uint64, uint64) { return r.src.Window(tid) }
 
 // NodePC implements ddg.Source.
-func (r *Reader) NodePC(id ddg.ID) (int32, bool) { return r.t.buf.NodePC(id) }
+func (r *Reader) NodePC(id ddg.ID) (int32, bool) { return r.src.NodePC(id) }
 
 // DepsOf implements ddg.Source using the stored PC when available.
 func (r *Reader) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
-	pc, ok := r.t.buf.NodePC(id)
+	pc, ok := r.src.NodePC(id)
 	if !ok {
 		pc = -1
 	}
@@ -36,7 +40,7 @@ func (r *Reader) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
 // reconstructions valid for an instance of static instruction pcHint
 // (-1: unknown, reconstruct nothing).
 func (r *Reader) DepsOfHinted(id ddg.ID, pcHint int32, yield func(ddg.Dep)) {
-	r.t.buf.DepsOf(id, yield)
+	r.src.DepsOf(id, yield)
 	if pcHint < 0 {
 		return
 	}

@@ -1,11 +1,18 @@
-// Package pipeline implements the offloaded DIFT pipeline: execution
-// and analysis decoupled, the paper's central scalability move. The
-// VM runs with only a batching event recorder attached (vm.Recorder —
-// one filter check and one struct copy per instruction), and taint
-// propagation consumes the sealed batches downstream, in worker
-// goroutines over shadow memory sharded by address range.
+// Package pipeline implements offloaded analysis: execution and
+// analysis decoupled, the paper's central scalability move. The VM
+// runs with only a batching event recorder attached (vm.Recorder —
+// one filter check and one struct copy per instruction), and analysis
+// consumes the sealed batches downstream.
 //
-// Equivalence with the inline engine is by construction plus
+// Two analysis kinds run on this machinery today: the DIFT
+// propagation pipeline in this package (taint labels over sharded
+// shadow memory) and the ONTRAC dependence-tracing stage in
+// internal/ontrac (per-thread dependence extraction into sharded
+// compact buffers). Both plug a BatchHandler into the shared Consumer
+// (consumer.go), which owns windowing, flush-group alignment, sync
+// ordering, and batch recycling.
+//
+// Equivalence with the inline engines is by construction plus
 // checking, not hope:
 //
 //   - workers run the same transfer function (dift.Step) the inline
@@ -22,8 +29,6 @@
 package pipeline
 
 import (
-	"sync"
-
 	"scaldift/internal/dift"
 	"scaldift/internal/isa"
 	"scaldift/internal/shadow"
@@ -49,7 +54,9 @@ type Options struct {
 	Shards int
 }
 
-func (o *Options) fill() {
+// Fill applies defaults in place; callers outside the package (the
+// ONTRAC stage) share the same knobs.
+func (o *Options) Fill() {
 	if o.Workers <= 0 {
 		o.Workers = 2
 	}
@@ -69,7 +76,9 @@ func (o *Options) fill() {
 
 // Pipeline is the offloaded DIFT engine. Create with New, attach to a
 // machine with Attach (or use Run), and read results after Close.
-// Sinks fire on the consumer goroutine, in global sequence order.
+// Sinks fire on the consumer goroutine, in global sequence order,
+// and receive a private copy of the event: the pointer stays valid
+// after the callback (unlike the inline engine's reused event).
 type Pipeline[L comparable] struct {
 	dom   dift.Domain[L]
 	pol   dift.Policy
@@ -78,18 +87,12 @@ type Pipeline[L comparable] struct {
 	regs  []*[isa.NumRegs]L
 	sinks []dift.Sink[L]
 
-	rec  *vm.Recorder
-	in   chan *vm.Batch
-	done chan struct{}
+	cons *Consumer
+	pool *Pool
 
-	tasks chan *chainTask[L]
-	wwg   sync.WaitGroup
-
-	window   []*vm.Batch
-	winGroup uint64
-	events   uint64
-	seqBuf   []*vm.Event
-	recsBuf  []sinkRec[L]
+	events  uint64
+	seqBuf  []*vm.Event
+	recsBuf []sinkRec[L]
 }
 
 // New creates a pipeline over the given domain and policy and starts
@@ -97,19 +100,16 @@ type Pipeline[L comparable] struct {
 // Options.Workers goroutines (Bool, PC and InputID are stateless;
 // lineage needs lineage.NewLockedDomain).
 func New[L comparable](dom dift.Domain[L], pol dift.Policy, opt Options) *Pipeline[L] {
-	opt.fill()
+	opt.Fill()
 	p := &Pipeline[L]{
-		dom:   dom,
-		pol:   pol,
-		opt:   opt,
-		mem:   shadow.NewSharded[L](opt.Shards),
-		tasks: make(chan *chainTask[L], 16),
+		dom:  dom,
+		pol:  pol,
+		opt:  opt,
+		mem:  shadow.NewSharded[L](opt.Shards),
+		pool: NewPool(opt.Workers),
 	}
+	p.cons = NewConsumer(difthandler[L]{p}, opt.WindowBatches)
 	p.ensureTID(0)
-	p.wwg.Add(opt.Workers)
-	for i := 0; i < opt.Workers; i++ {
-		go p.worker()
-	}
 	return p
 }
 
@@ -120,17 +120,7 @@ func (p *Pipeline[L]) AddSink(s dift.Sink[L]) { p.sinks = append(p.sinks, s) }
 // starts the consumer goroutine. Call Close after the run to flush
 // and drain.
 func (p *Pipeline[L]) Attach(m *vm.Machine) {
-	p.in = make(chan *vm.Batch, p.opt.QueueDepth)
-	p.done = make(chan struct{})
-	p.rec = vm.NewRecorder(p.opt.BatchEvents, dift.Relevant, func(b *vm.Batch) { p.in <- b })
-	m.AttachTool(p.rec)
-	go func() {
-		for b := range p.in {
-			p.feed(b)
-		}
-		p.processWindow()
-		close(p.done)
-	}()
+	p.cons.Attach(m, p.opt.BatchEvents, p.opt.QueueDepth, dift.Relevant)
 }
 
 // Close flushes the recorder, drains the consumer, and stops the
@@ -138,19 +128,8 @@ func (p *Pipeline[L]) Attach(m *vm.Machine) {
 // the pipeline cannot be reused afterwards. Close is idempotent, so
 // `defer p.Close()` composes with Run (which closes on return).
 func (p *Pipeline[L]) Close() {
-	if p.rec != nil {
-		p.rec.Flush()
-	}
-	if p.in != nil {
-		close(p.in)
-		<-p.done
-		p.in = nil
-	}
-	if p.tasks != nil {
-		close(p.tasks)
-		p.wwg.Wait()
-		p.tasks = nil
-	}
+	p.cons.Close()
+	p.pool.Close()
 }
 
 // Consume propagates an offline batch stream (from Collect)
@@ -158,10 +137,7 @@ func (p *Pipeline[L]) Close() {
 // conflict-free windows. It may be called repeatedly; call Close when
 // done to stop the workers.
 func (p *Pipeline[L]) Consume(batches []*vm.Batch) {
-	for _, b := range batches {
-		p.feed(b)
-	}
-	p.processWindow()
+	p.cons.Consume(batches)
 }
 
 // Run attaches p to m, runs the machine to completion, and closes the
@@ -173,12 +149,19 @@ func Run[L comparable](m *vm.Machine, p *Pipeline[L]) *vm.Result {
 	return res
 }
 
-// Collect runs m with only a batching recorder attached and returns
-// the sealed label-relevant batches — an offline trace. Benchmarks
-// use it to time the record and propagate stages separately.
+// Collect runs m with only a batching recorder attached, keeping the
+// label-relevant events, and returns the sealed batches — an offline
+// trace. Benchmarks use it to time the record and propagate stages
+// separately.
 func Collect(m *vm.Machine, batchEvents int) ([]*vm.Batch, *vm.Result) {
+	return CollectWith(m, batchEvents, dift.Relevant)
+}
+
+// CollectWith is Collect with an explicit relevance filter (e.g.
+// ddg.TraceRelevant for an offline dependence-tracing stream).
+func CollectWith(m *vm.Machine, batchEvents int, filter func(*vm.Event) bool) ([]*vm.Batch, *vm.Result) {
 	var out []*vm.Batch
-	rec := vm.NewRecorder(batchEvents, dift.Relevant, func(b *vm.Batch) { out = append(out, b) })
+	rec := vm.NewRecorder(batchEvents, filter, func(b *vm.Batch) { out = append(out, b) })
 	m.AttachTool(rec)
 	res := m.Run()
 	rec.Flush()

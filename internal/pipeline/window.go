@@ -2,119 +2,89 @@ package pipeline
 
 import (
 	"sort"
-	"sync"
 
 	"scaldift/internal/dift"
 	"scaldift/internal/vm"
 )
 
-// sinkRec is one deferred sink observation. Workers record instead of
-// firing so the pipeline can replay sinks in global sequence order,
-// matching the inline engine exactly.
+// sinkRec is one deferred sink observation. Propagation records
+// instead of firing so the pipeline can replay sinks in global
+// sequence order, matching the inline engine exactly. The event is
+// stored BY VALUE: the original *vm.Event points into a recorder
+// batch that returns to the pool right after its window, so a sink
+// holding that pointer past the callback would watch its event be
+// overwritten by an unrelated one (the pooled-reuse hazard pinned by
+// TestSinkEventsSurvivePoolReuse).
 type sinkRec[L comparable] struct {
-	ev     *vm.Event
+	ev     vm.Event
 	label  L
 	branch bool
 }
 
-// capture is the dift.Sink workers propagate into.
+// capture is the dift.Sink propagation runs against; deliver replays
+// what it records into the registered sinks.
 type capture[L comparable] struct{ recs []sinkRec[L] }
 
 func (c *capture[L]) OnOutput(ev *vm.Event, l L) {
-	c.recs = append(c.recs, sinkRec[L]{ev: ev, label: l})
+	c.recs = append(c.recs, sinkRec[L]{ev: *ev, label: l})
 }
 
 func (c *capture[L]) OnIndirectBranch(ev *vm.Event, l L) {
-	c.recs = append(c.recs, sinkRec[L]{ev: ev, label: l, branch: true})
+	c.recs = append(c.recs, sinkRec[L]{ev: *ev, label: l, branch: true})
 }
 
-// chainTask is one thread's ordered batch chain within a window,
-// dispatched to a worker.
-type chainTask[L comparable] struct {
-	batches []*vm.Batch
-	recs    []sinkRec[L]
-	wg      *sync.WaitGroup
+// difthandler adapts Pipeline to the Consumer's BatchHandler.
+type difthandler[L comparable] struct{ p *Pipeline[L] }
+
+func (h difthandler[L]) Window(w []*vm.Batch) { h.p.processWindow(w) }
+
+func (h difthandler[L]) Sync(b *vm.Batch) {
+	// Global ordering point (the window was already drained): apply
+	// the communication event by itself.
+	h.p.applyOrdered([]*vm.Batch{b})
 }
 
-// worker propagates chain tasks until the task channel closes.
-func (p *Pipeline[L]) worker() {
-	defer p.wwg.Done()
-	for t := range p.tasks {
-		var cap capture[L]
-		sinks := []dift.Sink[L]{&cap}
-		for _, b := range t.batches {
-			for i := range b.Events {
-				dift.Step(p.dom, p.pol, p, p.mem, sinks, &b.Events[i])
-			}
-		}
-		t.recs = cap.recs
-		t.wg.Done()
-	}
-}
-
-// feed accepts one sealed batch on the consumer goroutine. Windows
-// only break at flush-group boundaries: the batches of one group
-// jointly cover a contiguous global sequence range, so splitting a
-// group would let a window run ahead of another thread's older,
-// not-yet-windowed events.
-func (p *Pipeline[L]) feed(b *vm.Batch) {
-	if b.Sync {
-		// Global ordering point: drain the window, then apply the
-		// communication event by itself.
-		p.processWindow()
-		p.applyOrdered([]*vm.Batch{b})
-		p.free(b)
-		return
-	}
-	if len(p.window) >= p.opt.WindowBatches && b.Group != p.winGroup {
-		p.processWindow()
-	}
-	p.window = append(p.window, b)
-	p.winGroup = b.Group
-}
-
-// processWindow propagates the accumulated window: concurrently when
-// its per-thread chains provably touch disjoint memory, otherwise as
-// an ordered sequential merge.
-func (p *Pipeline[L]) processWindow() {
-	if len(p.window) == 0 {
-		return
-	}
-	w := p.window
-	p.window = p.window[:0]
-
-	chains, maxTID := groupChains(w)
+// processWindow propagates one window: concurrently when its
+// per-thread chains provably touch disjoint memory, otherwise as an
+// ordered sequential merge.
+func (p *Pipeline[L]) processWindow(w []*vm.Batch) {
+	chains, maxTID := GroupChains(w)
 	p.ensureTID(maxTID)
 	switch {
 	case len(chains) == 1:
 		// One thread: its batches are already in both program and
-		// global order, so propagate directly — no sort, no deferral.
+		// global order, so propagate directly with no Seq sort. Sink
+		// observations still go through capture/deliver — that is the
+		// stable-copy guarantee, not an ordering step.
 		p.applyChain(chains[0])
 	case conflicts(chains):
 		p.applyOrdered(w)
 	default:
 		p.applyParallel(chains, w)
 	}
-	for _, b := range w {
-		p.free(b)
-	}
 }
 
 // applyChain propagates one thread's batch chain in order on the
-// consumer goroutine, firing sinks directly (the events are already
-// globally ordered relative to everything processed so far).
+// consumer goroutine (the events are already globally ordered
+// relative to everything processed so far), then delivers the
+// captured sink observations.
 func (p *Pipeline[L]) applyChain(ch []*vm.Batch) {
+	cap := capture[L]{recs: p.recsBuf[:0]}
+	sinks := []dift.Sink[L]{&cap}
 	for _, b := range ch {
 		for i := range b.Events {
-			dift.Step(p.dom, p.pol, p, p.mem, p.sinks, &b.Events[i])
+			dift.Step(p.dom, p.pol, p, p.mem, sinks, &b.Events[i])
 		}
 		p.events += uint64(len(b.Events))
 	}
+	p.deliver(cap.recs)
+	p.recsBuf = cap.recs[:0]
 }
 
 // applyOrdered merges the batches' events by global sequence number
-// and propagates them one by one — the exact inline order, sinks
-// fired as reached. Used for sync batches and conflicting windows.
+// and propagates them one by one — the exact inline order — then
+// delivers the captured sink observations. Used for sync batches and
+// conflicting windows.
 func (p *Pipeline[L]) applyOrdered(w []*vm.Batch) {
 	evs := p.seqBuf[:0]
 	for _, b := range w {
@@ -123,13 +93,22 @@ func (p *Pipeline[L]) applyOrdered(w []*vm.Batch) {
 		}
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	cap := capture[L]{recs: p.recsBuf[:0]}
+	sinks := []dift.Sink[L]{&cap}
 	for _, ev := range evs {
 		if ev.Kind == vm.EvSpawn {
 			p.ensureTID(int(ev.DstVal))
 		}
-		dift.Step(p.dom, p.pol, p, p.mem, p.sinks, ev)
+		dift.Step(p.dom, p.pol, p, p.mem, sinks, ev)
 	}
 	p.events += uint64(len(evs))
+	p.deliver(cap.recs)
+	p.recsBuf = cap.recs[:0]
+	// Drop the event pointers before keeping the buffer: its batches
+	// return to the recorder pool as soon as this window ends.
+	for i := range evs {
+		evs[i] = nil
+	}
 	p.seqBuf = evs[:0]
 }
 
@@ -137,18 +116,23 @@ func (p *Pipeline[L]) applyOrdered(w []*vm.Batch) {
 // waits, and replays the recorded sink observations in sequence
 // order.
 func (p *Pipeline[L]) applyParallel(chains [][]*vm.Batch, w []*vm.Batch) {
-	var wg sync.WaitGroup
-	wg.Add(len(chains))
-	tasks := make([]*chainTask[L], len(chains))
+	caps := make([]capture[L], len(chains))
+	tasks := make([]func(), len(chains))
 	for i, ch := range chains {
-		t := &chainTask[L]{batches: ch, wg: &wg}
-		tasks[i] = t
-		p.tasks <- t
+		i, ch := i, ch
+		tasks[i] = func() {
+			sinks := []dift.Sink[L]{&caps[i]}
+			for _, b := range ch {
+				for j := range b.Events {
+					dift.Step(p.dom, p.pol, p, p.mem, sinks, &b.Events[j])
+				}
+			}
+		}
 	}
-	wg.Wait()
+	p.pool.Run(tasks)
 	recs := p.recsBuf[:0]
-	for _, t := range tasks {
-		recs = append(recs, t.recs...)
+	for i := range caps {
+		recs = append(recs, caps[i].recs...)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ev.Seq < recs[j].ev.Seq })
 	for _, b := range w {
@@ -159,41 +143,20 @@ func (p *Pipeline[L]) applyParallel(chains [][]*vm.Batch, w []*vm.Batch) {
 }
 
 // deliver replays sink observations (already sequence-ordered) into
-// the registered sinks.
+// the registered sinks. Each observation is delivered through a
+// per-delivery copy, so the *vm.Event a sink receives stays valid
+// even if the sink retains it.
 func (p *Pipeline[L]) deliver(recs []sinkRec[L]) {
-	for _, rc := range recs {
+	for i := range recs {
+		rc := recs[i]
 		for _, s := range p.sinks {
 			if rc.branch {
-				s.OnIndirectBranch(rc.ev, rc.label)
+				s.OnIndirectBranch(&rc.ev, rc.label)
 			} else {
-				s.OnOutput(rc.ev, rc.label)
+				s.OnOutput(&rc.ev, rc.label)
 			}
 		}
 	}
-}
-
-func (p *Pipeline[L]) free(b *vm.Batch) {
-	if p.rec != nil {
-		p.rec.Free(b)
-	}
-}
-
-// groupChains splits a window into per-thread chains, preserving each
-// thread's batch order, and reports the largest TID seen.
-func groupChains(w []*vm.Batch) (chains [][]*vm.Batch, maxTID int) {
-	byTID := make(map[int]int) // tid → chain index
-	for _, b := range w {
-		if b.TID > maxTID {
-			maxTID = b.TID
-		}
-		if i, ok := byTID[b.TID]; ok {
-			chains[i] = append(chains[i], b)
-		} else {
-			byTID[b.TID] = len(chains)
-			chains = append(chains, []*vm.Batch{b})
-		}
-	}
-	return chains, maxTID
 }
 
 // access is one chain's memory footprint.

@@ -150,11 +150,21 @@ func pcsToLines(prog *isa.Program, pcs map[int32]bool) []int {
 }
 
 // Forward computes the forward dynamic slice (all instances affected
-// by the start instances). It requires the full graph: reverse edges
-// are built by one scan. The paper computes the forward slice of the
-// inputs online (ONTRAC T2); this offline version exists for
-// fault-location experiments and cross-checks.
-func Forward(g *ddg.Full, prog *isa.Program, start []ddg.ID, opts Options) *Slice {
+// by the start instances) over any ddg.Source — the full offline
+// graph, a compact store, per-thread shards, or ONTRAC's
+// reconstructing reader. Reverse edges are built by one scan of the
+// source's retained windows.
+//
+// Over a source with elided records (ontrac.Reader under O1/O2), the
+// forward slice under-approximates: reconstruction needs each node's
+// static PC from traversal context, which flows naturally along
+// backward edges but not forward, so flow THROUGH a fully elided
+// instance is not followed. Use the Full graph (or an unoptimized
+// trace) when the exact forward closure matters. The paper computes
+// the forward slice of the inputs online instead (ONTRAC T2); this
+// offline version exists for fault-location experiments and
+// cross-checks.
+func Forward(g ddg.Source, prog *isa.Program, start []ddg.ID, opts Options) *Slice {
 	// Build reverse adjacency.
 	rev := make(map[ddg.ID][]ddg.Dep)
 	for _, tid := range g.Threads() {

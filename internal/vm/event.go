@@ -59,11 +59,19 @@ const NoAddr = int64(-1)
 // machine reuses a single Event value across calls; tools must copy
 // anything they retain.
 type Event struct {
-	Kind  EventKind
-	TID   int    // executing thread
-	Seq   uint64 // global dynamic instruction count (1-based)
-	PC    int    // instruction index
-	Instr *isa.Instr
+	Kind EventKind
+	TID  int    // executing thread
+	Seq  uint64 // global dynamic instruction count (1-based)
+	// ThreadSeq is the executing thread's dynamic instruction count
+	// (1-based), the per-thread analogue of Seq. Dependence tracking
+	// identifies instruction instances by (TID, ThreadSeq), so an
+	// offloaded consumer of a recorded (possibly filtered) stream can
+	// reconstruct instance ids without replaying the whole schedule.
+	// Blocked events repeat the current count; it advances only when
+	// the instruction completes.
+	ThreadSeq uint64
+	PC        int // instruction index
+	Instr     *isa.Instr
 
 	// Dataflow: the instruction computed DstReg and/or DstMem from
 	// SrcRegs[:NSrc] and/or SrcMem. AddrReg is the register that

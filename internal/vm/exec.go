@@ -174,6 +174,14 @@ func (m *Machine) exec(t *Thread) {
 	ev.PC = t.PC
 	ev.Instr = ins
 	ev.Kind = EvCompute
+	// Number the attempted instruction, globally and per thread;
+	// overwritten below once the outcome (completed vs blocked) is
+	// known. Stamping here matters for the fault paths, which notify
+	// early: without it the shared event would carry the numbers of
+	// whatever instruction (possibly another thread's) ran last, and
+	// consumers that order by Seq would misplace the fault.
+	ev.Seq = m.steps + 1
+	ev.ThreadSeq = t.Steps + 1
 
 	pc := t.PC
 	next := pc + 1
@@ -540,6 +548,7 @@ func (m *Machine) exec(t *Thread) {
 		m.budget--
 		ev.Seq = m.steps
 	}
+	ev.ThreadSeq = t.Steps
 	m.notify(ev, t, pc)
 	if t.State == Halted {
 		m.budget = 0

@@ -1,0 +1,57 @@
+package vm
+
+import (
+	"testing"
+
+	"scaldift/internal/isa"
+)
+
+// BenchmarkRecorderOnEvent measures the per-event cost the recorder
+// adds to the execution thread — the filter check plus the struct
+// copy that replaces a full inline analysis tool in the offloaded
+// designs.
+func BenchmarkRecorderOnEvent(b *testing.B) {
+	var rec *Recorder
+	rec = NewRecorder(DefaultBatchEvents, nil, func(bt *Batch) { rec.Free(bt) })
+	ins := isa.Instr{}
+	ev := Event{Kind: EvCompute, Instr: &ins, DstReg: 1, NSrc: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i + 1)
+		ev.ThreadSeq = uint64(i + 1)
+		rec.OnEvent(nil, &ev)
+	}
+	rec.Flush()
+}
+
+// BenchmarkRecorderRun measures whole-run recording overhead on a
+// tight loop, against the tool-free machine (reported as events/s).
+func BenchmarkRecorderRun(b *testing.B) {
+	prog := isa.MustAssemble("t", `
+    movi r1, 0
+loop:
+    movi r2, 20000
+    bge r1, r2, done
+    addi r1, r1, 1
+    store r0, r1, 0
+    br loop
+done:
+    halt
+`)
+	b.ResetTimer()
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		m := MustNew(prog, Config{})
+		var rec *Recorder
+		rec = NewRecorder(DefaultBatchEvents, nil, func(bt *Batch) { rec.Free(bt) })
+		m.AttachTool(rec)
+		if res := m.Run(); res.Failed {
+			b.Fatal(res.FailMsg)
+		}
+		rec.Flush()
+		steps += m.Steps()
+	}
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(steps)/el, "events/s")
+	}
+}

@@ -1,0 +1,184 @@
+package vm
+
+import (
+	"testing"
+
+	"scaldift/internal/isa"
+)
+
+// FuzzRecorder feeds the Recorder random synthetic event streams and
+// checks, against a naive model, the flush-group invariants
+// internal/pipeline builds on:
+//
+//   - every recorded event survives, per thread, in program order;
+//   - blocked and filtered events never appear (spawn bypasses the
+//     filter);
+//   - each flush group's batches jointly cover a contiguous range of
+//     global sequence numbers: group ranges are disjoint and strictly
+//     increasing in emit order, and every recorded event between a
+//     group's bounds belongs to that group;
+//   - spawn batches travel solo with Sync set, and only they do;
+//   - no batch exceeds the configured capacity.
+//
+// Each fuzz input byte drives one synthetic instruction: two bits of
+// thread id, one bit "relevant to the filter", one bit "blocked", and
+// a small chance of being a spawn. The first byte picks the batch
+// capacity.
+func FuzzRecorder(f *testing.F) {
+	f.Add([]byte{4, 0x00, 0x01, 0x42, 0x13, 0x80, 0x07})
+	f.Add([]byte{1, 0x80, 0x80, 0x80})                   // spawn burst
+	f.Add([]byte{7, 0x10, 0x20, 0x30, 0x40, 0x0f, 0x33}) // blocked mix
+	f.Add([]byte{2, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55}) // alternating
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		batchEvents := int(data[0]%7) + 1
+		stream := data[1:]
+		if len(stream) > 4096 {
+			stream = stream[:4096]
+		}
+
+		relevant := func(ev *Event) bool { return ev.PC%2 == 0 } // "even PCs matter"
+		var batches []*Batch
+		var rec *Recorder
+		rec = NewRecorder(batchEvents, relevant, func(b *Batch) {
+			// The recorder recycles freed batches; keep private copies
+			// like a real consumer that defers work would.
+			cp := &Batch{TID: b.TID, Group: b.Group, Sync: b.Sync,
+				Events: append([]Event(nil), b.Events...)}
+			batches = append(batches, cp)
+			rec.Free(b)
+		})
+
+		// Drive the recorder the way the machine does: one reused
+		// event value, global and per-thread counters advancing only
+		// for non-blocked instructions.
+		dummy := isa.Instr{}
+		var model []Event // events the recorder must keep, in order
+		var steps uint64
+		tsteps := map[int]uint64{}
+		var ev Event
+		for _, b := range stream {
+			tid := int(b & 3)
+			blocked := b&0x08 != 0
+			spawn := !blocked && b&0xf0 == 0x80
+			pc := int(b >> 4)
+
+			ev = Event{Kind: EvCompute, TID: tid, PC: pc, Instr: &dummy, Blocked: blocked}
+			if spawn {
+				ev.Kind = EvSpawn
+				ev.DstVal = int64(tid + 1)
+			}
+			if !blocked {
+				steps++
+				tsteps[tid]++
+			}
+			ev.Seq = steps
+			ev.ThreadSeq = tsteps[tid]
+			rec.OnEvent(nil, &ev)
+			if !blocked && (spawn || relevant(&ev)) {
+				model = append(model, ev)
+			}
+		}
+		rec.Flush()
+
+		// 1. Per-thread program order and exact content preservation.
+		var got []Event
+		perTid := map[int][]Event{}
+		for bi, b := range batches {
+			if len(b.Events) == 0 {
+				t.Fatalf("batch %d empty", bi)
+			}
+			if len(b.Events) > batchEvents {
+				t.Fatalf("batch %d holds %d events, capacity %d", bi, len(b.Events), batchEvents)
+			}
+			if b.Sync != (b.Events[0].Kind == EvSpawn) {
+				t.Fatalf("batch %d: Sync=%v but first event is %v", bi, b.Sync, b.Events[0].Kind)
+			}
+			if b.Sync && len(b.Events) != 1 {
+				t.Fatalf("sync batch %d holds %d events, want solo", bi, len(b.Events))
+			}
+			for _, e := range b.Events {
+				if e.Blocked {
+					t.Fatal("blocked event recorded")
+				}
+				if e.TID != b.TID {
+					t.Fatalf("batch %d (tid %d) holds an event of tid %d", bi, b.TID, e.TID)
+				}
+				perTid[b.TID] = append(perTid[b.TID], e)
+				got = append(got, e)
+			}
+		}
+		modelTid := map[int][]Event{}
+		for _, e := range model {
+			modelTid[e.TID] = append(modelTid[e.TID], e)
+		}
+		for tid, want := range modelTid {
+			if len(perTid[tid]) != len(want) {
+				t.Fatalf("tid %d: recorded %d events, model %d", tid, len(perTid[tid]), len(want))
+			}
+			for i := range want {
+				if perTid[tid][i] != want[i] {
+					t.Fatalf("tid %d event %d diverged from model:\ngot  %+v\nwant %+v",
+						tid, i, perTid[tid][i], want[i])
+				}
+			}
+		}
+		if len(got) != len(model) {
+			t.Fatalf("recorded %d events, model %d", len(got), len(model))
+		}
+
+		// 2. Flush groups cover contiguous, disjoint, increasing Seq
+		// ranges: walking batches in emit order, group ids must be
+		// non-decreasing, and each group's Seq span must both stay
+		// above the previous group's and contain every recorded event
+		// in between.
+		type span struct{ lo, hi uint64 }
+		var orderedGroups []uint64
+		spans := map[uint64]*span{}
+		count := map[uint64]int{}
+		lastGroup := uint64(0)
+		for bi, b := range batches {
+			if bi > 0 && b.Group < lastGroup {
+				t.Fatalf("batch %d: group %d after group %d", bi, b.Group, lastGroup)
+			}
+			lastGroup = b.Group
+			sp, ok := spans[b.Group]
+			if !ok {
+				sp = &span{lo: ^uint64(0)}
+				spans[b.Group] = sp
+				orderedGroups = append(orderedGroups, b.Group)
+			}
+			for _, e := range b.Events {
+				if e.Seq < sp.lo {
+					sp.lo = e.Seq
+				}
+				if e.Seq > sp.hi {
+					sp.hi = e.Seq
+				}
+				count[b.Group]++
+			}
+		}
+		var prevHi uint64
+		for _, g := range orderedGroups {
+			sp := spans[g]
+			if sp.lo <= prevHi {
+				t.Fatalf("group %d (span [%d,%d]) overlaps previous hi %d", g, sp.lo, sp.hi, prevHi)
+			}
+			// Contiguity against the model: every model event with Seq
+			// in [lo,hi] must be in this group.
+			n := 0
+			for _, e := range model {
+				if e.Seq >= sp.lo && e.Seq <= sp.hi {
+					n++
+				}
+			}
+			if n != count[g] {
+				t.Fatalf("group %d covers [%d,%d] with %d events, but %d recorded events fall in that range",
+					g, sp.lo, sp.hi, count[g], n)
+			}
+			prevHi = sp.hi
+		}
+	})
+}
