@@ -11,6 +11,11 @@ import (
 // ONTRAC's fixed-size circular trace buffer, whose capacity bounds
 // the execution-history window usable for slicing.
 //
+// With a ChunkSink attached (SetSpill), every chunk is handed to the
+// sink the moment it seals, before eviction can touch it: the cap
+// then bounds only the in-memory working set, and the spilled stream
+// (internal/store) retains the whole execution.
+//
 // Only instruction instances with at least one stored dependence (or
 // a redundant-load marker) produce a record; the optimizations in
 // internal/ontrac elide the rest, which is where the bytes-per-
@@ -27,8 +32,31 @@ type Compact struct {
 	records uint64
 	deps    uint64
 	evicted uint64 // chunks dropped
+	spilled uint64 // chunks handed to the spill sink
+
+	spill ChunkSink
 
 	cache map[*chunk]map[uint64][]Dep
+}
+
+// RawChunk is one sealed chunk in wire form: the per-thread
+// delta/varint byte stream plus the metadata needed to decode it.
+// The Buf of a sealed chunk is immutable, so sinks may retain it
+// without copying.
+type RawChunk struct {
+	TID   int
+	BaseN uint64 // useN of the first record
+	LastN uint64 // useN of the last record
+	Count int    // records in the chunk
+	Buf   []byte
+}
+
+// ChunkSink receives sealed chunks as they close. Compact is
+// single-writer, but shards spill concurrently (ddg.Sharded under the
+// offloaded stage), so implementations must be safe for concurrent
+// calls from multiple goroutines.
+type ChunkSink interface {
+	SpillChunk(ch RawChunk)
 }
 
 type chunk struct {
@@ -40,15 +68,50 @@ type chunk struct {
 	sealed bool
 }
 
-// NewCompact creates a compact store. capBytes <= 0 means unbounded
-// (no eviction); chunkSize <= 0 selects the 4KB default.
-func NewCompact(capBytes int) *Compact {
+// NewCompact creates a compact store with the 4KB default chunk size.
+// capBytes <= 0 means unbounded (no eviction).
+func NewCompact(capBytes int) *Compact { return NewCompactSized(capBytes, 0) }
+
+// NewCompactSized creates a compact store with an explicit chunk
+// size (chunkSize <= 0 selects the 4KB default). Small chunk sizes
+// exist for tests that exercise chunk-seam behavior and for spill
+// workloads that want finer-grained segments.
+func NewCompactSized(capBytes, chunkSize int) *Compact {
+	if chunkSize <= 0 {
+		chunkSize = 4096
+	}
 	return &Compact{
 		capBytes:  capBytes,
-		chunkSize: 4096,
+		chunkSize: chunkSize,
 		perTid:    make(map[int][]*chunk),
 		open:      make(map[int]*chunk),
 		cache:     make(map[*chunk]map[uint64][]Dep),
+	}
+}
+
+// SetSpill attaches the sink that receives every chunk sealed from
+// now on. Attach it before the first Append: chunks sealed earlier
+// are not retroactively spilled.
+func (c *Compact) SetSpill(s ChunkSink) { c.spill = s }
+
+// seal closes a chunk: no more appends land in it, eviction may drop
+// it, and the spill sink (if any) receives it first.
+func (c *Compact) seal(ch *chunk) {
+	ch.sealed = true
+	delete(c.open, ch.tid)
+	if c.spill != nil && ch.count > 0 {
+		c.spill.SpillChunk(RawChunk{TID: ch.tid, BaseN: ch.baseN, LastN: ch.lastN, Count: ch.count, Buf: ch.buf})
+		c.spilled++
+	}
+}
+
+// Flush seals every open chunk (spilling each to the attached sink),
+// so the spilled stream covers the whole recorded execution. Call it
+// once at the end of a run; records appended afterwards start fresh
+// chunks.
+func (c *Compact) Flush() {
+	for _, ch := range c.open {
+		c.seal(ch)
 	}
 }
 
@@ -122,8 +185,7 @@ func (c *Compact) Append(use ID, usePC int32, deps []Dep, rlDelta uint64) {
 	c.records++
 	c.deps += uint64(len(deps))
 	if len(ch.buf) >= c.chunkSize {
-		ch.sealed = true
-		delete(c.open, tid)
+		c.seal(ch)
 	}
 	c.evict()
 }
@@ -166,25 +228,25 @@ func appendUvarint(dst, scratch []byte, v uint64) []byte {
 	return append(dst, scratch[:k]...)
 }
 
-// decode materializes a chunk's records into a use-N-keyed map.
-func (c *Compact) decode(ch *chunk) map[uint64][]Dep {
-	if m, ok := c.cache[ch]; ok {
-		return m
-	}
-	m := make(map[uint64][]Dep, ch.count)
-	buf := ch.buf
+// Decode materializes the chunk's records into a use-N-keyed
+// dependence map. It is the one decoder for the compact wire format:
+// Compact uses it for in-memory chunks and internal/store for chunks
+// reloaded from segment files, so the two can never drift.
+func (rc RawChunk) Decode() map[uint64][]Dep {
+	m := make(map[uint64][]Dep, rc.Count)
+	buf := rc.Buf
 	pos := 0
 	read := func() uint64 {
 		v, k := binary.Uvarint(buf[pos:])
 		pos += k
 		return v
 	}
-	n := ch.baseN
+	n := rc.BaseN
 	first := true
 	for pos < len(buf) {
 		delta := read()
 		if first {
-			n = ch.baseN + delta
+			n = rc.BaseN + delta
 			first = false
 		} else {
 			n += delta
@@ -195,7 +257,7 @@ func (c *Compact) decode(ch *chunk) map[uint64][]Dep {
 		nData := int(flags & 7)
 		hasCtrl := flags&(1<<3) != 0
 		hasRL := flags&(1<<4) != 0
-		use := MakeID(ch.tid, n)
+		use := MakeID(rc.TID, n)
 		var deps []Dep
 		for i := 0; i < nData; i++ {
 			enc := read()
@@ -204,7 +266,7 @@ func (c *Compact) decode(ch *chunk) map[uint64][]Dep {
 			if enc&1 == 1 {
 				def = ID(enc >> 1)
 			} else {
-				def = MakeID(ch.tid, n-enc>>1)
+				def = MakeID(rc.TID, n-enc>>1)
 			}
 			deps = append(deps, Dep{Use: use, UsePC: usePC, Def: def, DefPC: defPC, Kind: Data})
 		}
@@ -212,14 +274,28 @@ func (c *Compact) decode(ch *chunk) map[uint64][]Dep {
 			delta := read()
 			defPC := int32(read())
 			deps = append(deps, Dep{Use: use, UsePC: usePC,
-				Def: MakeID(ch.tid, n-delta), DefPC: defPC, Kind: Control})
+				Def: MakeID(rc.TID, n-delta), DefPC: defPC, Kind: Control})
 		}
 		if hasRL {
 			delta := read()
 			deps = append(deps, Dep{Use: use, UsePC: usePC,
-				Def: MakeID(ch.tid, n-delta), DefPC: usePC, Kind: SameAs})
+				Def: MakeID(rc.TID, n-delta), DefPC: usePC, Kind: SameAs})
 		}
 		m[n] = deps
+	}
+	return m
+}
+
+// decode materializes a chunk's records into a use-N-keyed map. Only
+// sealed (immutable) chunks enter the cache: caching an open chunk
+// would hide records appended to it after the first query.
+func (c *Compact) decode(ch *chunk) map[uint64][]Dep {
+	if m, ok := c.cache[ch]; ok {
+		return m
+	}
+	m := RawChunk{TID: ch.tid, BaseN: ch.baseN, Count: ch.count, Buf: ch.buf}.Decode()
+	if !ch.sealed {
+		return m
 	}
 	if len(c.cache) >= 8 {
 		for k := range c.cache {
@@ -303,5 +379,8 @@ func (c *Compact) Deps() uint64 { return c.deps }
 
 // EvictedChunks returns how many chunks the ring dropped.
 func (c *Compact) EvictedChunks() uint64 { return c.evicted }
+
+// SpilledChunks returns how many sealed chunks went to the sink.
+func (c *Compact) SpilledChunks() uint64 { return c.spilled }
 
 var _ Source = (*Compact)(nil)

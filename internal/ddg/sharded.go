@@ -14,14 +14,39 @@ import "sort"
 // the retained execution window is bounded per thread rather than
 // globally (a lone Compact rings over the global append order).
 type Sharded struct {
-	capBytes int
-	shards   map[int]*Compact
+	capBytes  int
+	chunkSize int
+	spill     ChunkSink
+	shards    map[int]*Compact
 }
 
 // NewSharded creates an empty sharded store; capBytes <= 0 disables
 // eviction, otherwise each per-thread shard rings over capBytes.
-func NewSharded(capBytes int) *Sharded {
-	return &Sharded{capBytes: capBytes, shards: make(map[int]*Compact)}
+func NewSharded(capBytes int) *Sharded { return NewShardedSized(capBytes, 0) }
+
+// NewShardedSized is NewSharded with an explicit per-shard chunk size
+// (chunkSize <= 0 selects the 4KB default).
+func NewShardedSized(capBytes, chunkSize int) *Sharded {
+	return &Sharded{capBytes: capBytes, chunkSize: chunkSize, shards: make(map[int]*Compact)}
+}
+
+// SetSpill attaches the sink every shard (existing and future) spills
+// sealed chunks into. Shards append concurrently, so the sink must
+// tolerate concurrent SpillChunk calls; set it on a single goroutine
+// before concurrent appends begin.
+func (s *Sharded) SetSpill(sink ChunkSink) {
+	s.spill = sink
+	for _, c := range s.shards {
+		c.SetSpill(sink)
+	}
+}
+
+// Flush seals and spills every shard's open chunks (single goroutine,
+// after all appends have completed).
+func (s *Sharded) Flush() {
+	for _, c := range s.shards {
+		c.Flush()
+	}
 }
 
 // Shard returns (creating if needed) the store for one thread. Create
@@ -30,7 +55,10 @@ func NewSharded(capBytes int) *Sharded {
 func (s *Sharded) Shard(tid int) *Compact {
 	c, ok := s.shards[tid]
 	if !ok {
-		c = NewCompact(s.capBytes)
+		c = NewCompactSized(s.capBytes, s.chunkSize)
+		if s.spill != nil {
+			c.SetSpill(s.spill)
+		}
 		s.shards[tid] = c
 	}
 	return c
@@ -109,6 +137,15 @@ func (s *Sharded) EvictedChunks() uint64 {
 	var n uint64
 	for _, c := range s.shards {
 		n += c.EvictedChunks()
+	}
+	return n
+}
+
+// SpilledChunks sums sink-spilled chunks across shards.
+func (s *Sharded) SpilledChunks() uint64 {
+	var n uint64
+	for _, c := range s.shards {
+		n += c.SpilledChunks()
 	}
 	return n
 }

@@ -102,11 +102,21 @@ func (o *Offloaded) Attach(m *vm.Machine) {
 	o.cons.Attach(m, o.popt.BatchEvents, o.popt.QueueDepth, ddg.TraceRelevant)
 }
 
-// Close flushes and drains the consumer and stops the worker pool.
+// SpillTo attaches a chunk sink (store.Writer) that every per-thread
+// shard spills sealed chunks into, making the whole execution
+// persistent instead of window-bounded. Call before Attach/Consume;
+// an async sink keeps shard appends (and so the pipeline) from
+// gating on disk I/O. Close flushes the still-open chunks through
+// the sink; the caller closes the sink itself afterwards.
+func (o *Offloaded) SpillTo(sink ddg.ChunkSink) { o.shards.SetSpill(sink) }
+
+// Close flushes and drains the consumer, stops the worker pool, and
+// seals the shards' open chunks through the spill sink (if any).
 // Results are stable once Close returns. Idempotent.
 func (o *Offloaded) Close() {
 	o.cons.Close()
 	o.pool.Close()
+	o.shards.Flush()
 }
 
 // Consume traces an offline batch stream (from pipeline.CollectWith
@@ -125,6 +135,12 @@ func Trace(m *vm.Machine, o *Offloaded) *vm.Result {
 // Reader returns the reconstructing ddg.Source over the sharded
 // buffers, for slicing.
 func (o *Offloaded) Reader() *Reader { return &Reader{t: o.tr, src: o.shards} }
+
+// ReaderOver returns the reconstructing view over any raw record
+// source carrying this stage's chunks — typically a store.Reader
+// reopened from the directory the stage spilled into — so O1/O2
+// reconstruction works over the on-disk trace too.
+func (o *Offloaded) ReaderOver(src ddg.Source) *Reader { return &Reader{t: o.tr, src: src} }
 
 // Shards exposes the per-thread compact stores.
 func (o *Offloaded) Shards() *ddg.Sharded { return o.shards }

@@ -1,0 +1,299 @@
+package slicing
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/isa"
+)
+
+// ParallelBackward computes the same backward dynamic slice as
+// Backward with the closure frontier fanned out across concurrent
+// workers, one per thread shard. Each worker drains its own thread's
+// frontier depth-first and hands cross-thread edges to the owning
+// thread's worker, so the long per-thread dependence chains that
+// dominate real traces advance in parallel instead of lock-stepping
+// through a global frontier; the sharding matches the layouts
+// underneath (store.Reader segments, ddg.Sharded), giving each worker
+// an uncontended chunk cache.
+//
+// src (and, when implemented, its DepsOfHinted) must be safe for
+// concurrent reads — store.Reader and ddg.Full are; a lone
+// ddg.Compact and ontrac.Reader over one are NOT (single-goroutine
+// decode cache). workers <= 1 falls back to Backward; otherwise one
+// goroutine runs per thread shard (the Go scheduler multiplexes them
+// over the machine, so workers acts as a fallback switch, not a pool
+// size).
+//
+// Over an exact source, results are identical to Backward: same PCs,
+// Lines, Nodes, Edges, and TruncatedAtWindow (the closure is
+// order-independent). Two caveats: Options.MaxNodes is enforced
+// cooperatively, so a bounded parallel traversal may visit a few
+// nodes beyond the bound (MaxNodes = 0 matches exactly); and over a
+// HintedSource whose reconstruction over-approximates (ontrac O2), a
+// node's PC hint depends on which edge discovers it first, so
+// concurrent and sequential orders can reconstruct marginally
+// different edge sets — both valid over-approximations of the slice.
+func ParallelBackward(src ddg.Source, prog *isa.Program, crits []Criterion, opts Options, workers int) *Slice {
+	if workers <= 1 {
+		return Backward(src, prog, crits, opts)
+	}
+	hinted, _ := src.(HintedSource)
+
+	// One shard per trace thread, plus an orphan shard for ids in
+	// threads the source never recorded (stored cross-thread edges
+	// may point at them; under a hinted source they still expand
+	// through reconstruction). The map is immutable once workers
+	// start.
+	shards := make(map[int]*pbShard)
+	orphan := newPBShard(-1)
+	all := []*pbShard{orphan}
+	for _, tid := range src.Threads() {
+		if _, ok := shards[tid]; !ok {
+			s := newPBShard(tid)
+			shards[tid] = s
+			all = append(all, s)
+		}
+	}
+	shardOf := func(tid int) *pbShard {
+		if s, ok := shards[tid]; ok {
+			return s
+		}
+		return orphan
+	}
+
+	// Windows are constant during a traversal: snapshot them so the
+	// per-edge window check never touches the source (whose Window
+	// may lock the very thread state another worker is decoding).
+	// Absent tids have no records — lo = 0, like Source.Window.
+	winLo := make(map[int]uint64, len(shards))
+	for tid := range shards {
+		lo, _ := src.Window(tid)
+		winLo[tid] = lo
+	}
+
+	var (
+		pending int64 // queued-but-unfinished items, atomic
+		nodes   int64 // processed nodes, atomic (MaxNodes)
+		done    atomic.Bool
+	)
+	finish := func() {
+		if done.CompareAndSwap(false, true) {
+			for _, s := range all {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
+		}
+	}
+
+	// admit applies Backward's push logic under the owning shard's
+	// lock: dedup, then hand the item back for processing — or record
+	// only the statement when the traversal cannot continue past the
+	// source's window. ok reports that the item should be processed.
+	admit := func(s *pbShard, id ddg.ID, pc int32) bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.visited[id] {
+			return false
+		}
+		s.visited[id] = true
+		lo := winLo[id.TID()]
+		evicted := lo > 0 && id.N() < lo
+		deadEnd := lo == 0 && hinted == nil
+		if evicted || deadEnd {
+			if evicted {
+				s.truncated = true
+			}
+			if pc >= 0 {
+				s.extraPCs[pc] = true
+			}
+			return false
+		}
+		atomic.AddInt64(&pending, 1)
+		return true
+	}
+
+	// enqueue routes an admitted item to its owning shard's shared
+	// queue (cross-thread edges and criteria).
+	enqueue := func(id ddg.ID, pc int32) {
+		if id == 0 {
+			return
+		}
+		s := shardOf(id.TID())
+		if !admit(s, id, pc) {
+			return
+		}
+		s.mu.Lock()
+		s.queue = append(s.queue, pbItem{id: id, pc: pc})
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+
+	for _, c := range crits {
+		enqueue(c.ID, c.PC)
+	}
+	if atomic.LoadInt64(&pending) == 0 {
+		// Every criterion was out of window (or zero): nothing to run.
+		return pbMerge(all, prog)
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range all {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pbWorker(s, src, hinted, opts, admit, enqueue, &pending, &nodes, &done, finish)
+		}()
+	}
+	wg.Wait()
+	return pbMerge(all, prog)
+}
+
+// pbItem is one frontier entry.
+type pbItem struct {
+	id ddg.ID
+	pc int32
+}
+
+// pbWorker drains one shard. Same-shard continuations stay on a
+// local stack (no queue round-trip, no wakeups — a thread's own
+// dependence chain walks at sequential speed); only cross-shard edges
+// go through the owning shard's locked queue. The orphan shard
+// (tid -1) owns a mix of unrecorded tids, so nothing is "same-shard"
+// for it. Busy time (waits excluded) accumulates in s.busy.
+func pbWorker(s *pbShard,
+	src ddg.Source, hinted HintedSource, opts Options,
+	admit func(*pbShard, ddg.ID, int32) bool, enqueue func(ddg.ID, int32),
+	pending, nodes *int64, done *atomic.Bool, finish func()) {
+
+	var local, batch []pbItem
+	yield := func(d ddg.Dep) {
+		switch d.Kind {
+		case ddg.Control:
+			if !opts.FollowControl {
+				return
+			}
+		case ddg.WAR, ddg.WAW:
+			if !opts.FollowAnti {
+				return
+			}
+		}
+		s.edges++
+		s.pcs[d.DefPC] = true
+		if s.tid >= 0 && d.Def != 0 && d.Def.TID() == s.tid {
+			if admit(s, d.Def, d.DefPC) {
+				local = append(local, pbItem{id: d.Def, pc: d.DefPC})
+			}
+		} else {
+			enqueue(d.Def, d.DefPC)
+		}
+	}
+	process := func(it pbItem) bool {
+		s.nodes++
+		if it.pc >= 0 {
+			s.pcs[it.pc] = true
+		}
+		if hinted != nil {
+			hinted.DepsOfHinted(it.id, it.pc, yield)
+		} else {
+			src.DepsOf(it.id, yield)
+		}
+		if opts.MaxNodes > 0 && atomic.AddInt64(nodes, 1) >= int64(opts.MaxNodes) {
+			finish()
+		}
+		if atomic.AddInt64(pending, -1) == 0 {
+			finish()
+		}
+		return !done.Load()
+	}
+
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !done.Load() {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch, s.queue = s.queue, batch[:0]
+		s.mu.Unlock()
+
+		start := time.Now()
+		ok := true
+		for _, it := range batch {
+			if ok = process(it); !ok {
+				break
+			}
+			// Drain same-shard continuations depth-first before the
+			// next cross-shard item.
+			for ok && len(local) > 0 {
+				next := local[len(local)-1]
+				local = local[:len(local)-1]
+				ok = process(next)
+			}
+		}
+		s.busy += time.Since(start)
+		if !ok {
+			return
+		}
+	}
+}
+
+// pbShard is one thread's frontier, visited set, and result tallies.
+// queue, visited, extraPCs, and truncated are guarded by mu (they are
+// written by other shards' workers pushing edges here); nodes, edges,
+// and pcs belong to the owning worker alone.
+type pbShard struct {
+	tid       int // -1: the orphan shard
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []pbItem
+	visited   map[ddg.ID]bool
+	extraPCs  map[int32]bool
+	truncated bool
+
+	nodes int
+	edges int
+	pcs   map[int32]bool
+	busy  time.Duration
+}
+
+func newPBShard(tid int) *pbShard {
+	s := &pbShard{
+		tid:      tid,
+		visited:  make(map[ddg.ID]bool),
+		extraPCs: make(map[int32]bool),
+		pcs:      make(map[int32]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// pbMerge folds the shards into a Slice (single goroutine, after all
+// workers have joined).
+func pbMerge(all []*pbShard, prog *isa.Program) *Slice {
+	res := &Slice{PCs: make(map[int32]bool), ShardBusy: make(map[int]time.Duration)}
+	for _, s := range all {
+		res.Nodes += s.nodes
+		res.Edges += s.edges
+		if s.truncated {
+			res.TruncatedAtWindow = true
+		}
+		for pc := range s.pcs {
+			res.PCs[pc] = true
+		}
+		for pc := range s.extraPCs {
+			res.PCs[pc] = true
+		}
+		if s.busy > 0 {
+			res.ShardBusy[s.tid] = s.busy
+		}
+	}
+	res.Lines = pcsToLines(prog, res.PCs)
+	return res
+}

@@ -1,0 +1,114 @@
+package slicing
+
+import (
+	"fmt"
+	"testing"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/prog"
+)
+
+// buildWorkloadGraph runs a workload under the full extractor with a
+// randomized schedule and returns its graph.
+func buildWorkloadGraph(t *testing.T, w *prog.Workload, seed uint64) *ddg.Full {
+	t.Helper()
+	w.Cfg.Seed = seed
+	w.Cfg.RandomPreempt = true
+	if w.Cfg.Quantum == 0 {
+		w.Cfg.Quantum = 13
+	}
+	m := w.NewMachine()
+	sink := ddg.NewFullSink()
+	m.AttachTool(ddg.NewExtractor(w.Prog, sink, ddg.ExtractorOpts{ControlDeps: true}))
+	if res := m.Run(); res.Failed {
+		t.Fatalf("%s: %s", w.Name, res.FailMsg)
+	}
+	return sink.G
+}
+
+// newestWithDeps returns the thread's newest instance that has at
+// least one dependence (the halt at the very end slices empty).
+func newestWithDeps(g *ddg.Full, tid int) ddg.ID {
+	lo, hi := g.Window(tid)
+	for n := hi; n >= lo && lo != 0; n-- {
+		id := ddg.MakeID(tid, n)
+		if len(ddg.CountDeps(g, id)) > 0 {
+			return id
+		}
+	}
+	return 0
+}
+
+// TestParallelBackwardMatchesSequential holds ParallelBackward to
+// Backward's exact results (Lines, PCs, Nodes, Edges) on every
+// workload, across worker counts, from every thread's newest
+// instance.
+func TestParallelBackwardMatchesSequential(t *testing.T) {
+	for _, w := range prog.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			g := buildWorkloadGraph(t, w, 1)
+			opts := Options{FollowControl: true}
+			for _, tid := range g.Threads() {
+				crit := newestWithDeps(g, tid)
+				if crit == 0 {
+					continue
+				}
+				pc, ok := g.NodePC(crit)
+				if !ok {
+					pc = -1
+				}
+				crits := []Criterion{{ID: crit, PC: pc}}
+				seq := Backward(g, w.Prog, crits, opts)
+				for _, workers := range []int{2, 4} {
+					par := ParallelBackward(g, w.Prog, crits, opts, workers)
+					if fmt.Sprint(seq.Lines) != fmt.Sprint(par.Lines) {
+						t.Fatalf("tid %d workers %d: lines diverged\nseq %v\npar %v",
+							tid, workers, seq.Lines, par.Lines)
+					}
+					if seq.Nodes != par.Nodes || seq.Edges != par.Edges {
+						t.Fatalf("tid %d workers %d: traversal diverged: %d/%d nodes, %d/%d edges",
+							tid, workers, seq.Nodes, par.Nodes, seq.Edges, par.Edges)
+					}
+					if seq.TruncatedAtWindow != par.TruncatedAtWindow {
+						t.Fatalf("tid %d workers %d: truncation flags diverged", tid, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBackwardMultiCriteria slices from all threads' ends at
+// once — the fan-out case the parallel traversal exists for.
+func TestParallelBackwardMultiCriteria(t *testing.T) {
+	w := prog.PSum(4, 300, 7)
+	g := buildWorkloadGraph(t, w, 3)
+	var crits []Criterion
+	for _, tid := range g.Threads() {
+		id := newestWithDeps(g, tid)
+		if id == 0 {
+			continue
+		}
+		pc, ok := g.NodePC(id)
+		if !ok {
+			pc = -1
+		}
+		crits = append(crits, Criterion{ID: id, PC: pc})
+	}
+	opts := Options{FollowControl: true}
+	seq := Backward(g, w.Prog, crits, opts)
+	par := ParallelBackward(g, w.Prog, crits, opts, 4)
+	if fmt.Sprint(seq.Lines) != fmt.Sprint(par.Lines) || seq.Nodes != par.Nodes || seq.Edges != par.Edges {
+		t.Fatalf("diverged: seq %d/%d %v, par %d/%d %v",
+			seq.Nodes, seq.Edges, seq.Lines, par.Nodes, par.Edges, par.Lines)
+	}
+	if seq.Nodes < 100 {
+		t.Fatalf("closure too small to be meaningful: %d nodes", seq.Nodes)
+	}
+	// workers <= 1 must take the sequential path.
+	one := ParallelBackward(g, w.Prog, crits, opts, 1)
+	if fmt.Sprint(one.Lines) != fmt.Sprint(seq.Lines) {
+		t.Fatal("workers=1 fallback diverged")
+	}
+}

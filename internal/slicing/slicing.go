@@ -8,6 +8,7 @@ package slicing
 
 import (
 	"sort"
+	"time"
 
 	"scaldift/internal/ddg"
 	"scaldift/internal/isa"
@@ -56,6 +57,12 @@ type Slice struct {
 	// evicted from a bounded buffer: the fault may predate the
 	// retained execution window (§2.1's window-length concern).
 	TruncatedAtWindow bool
+	// ShardBusy, populated only by ParallelBackward, maps thread id
+	// (-1 for the orphan shard) to that shard worker's processing
+	// time, waits excluded. The max entry is the traversal's critical
+	// path on fully parallel hardware; the sum approximates one
+	// core's sequential cost.
+	ShardBusy map[int]time.Duration
 }
 
 // Contains reports whether the slice includes the statement id.

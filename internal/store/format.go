@@ -1,0 +1,196 @@
+// Package store is the persistent segmented trace store: sealed
+// compact chunks (ddg.RawChunk) spill into per-thread append-only
+// segment files, a manifest records the segments in global append
+// order, and Reader reopens the whole execution from disk as a
+// ddg.Source with lazy segment loading and a bounded decoded-chunk
+// cache. It replaces the circular trace buffer's lossy ring eviction
+// (§2.1's window-length limit): memory caps become cache bounds, and
+// the on-disk stream retains every chunk, so whole-execution backward
+// slices work on runs far larger than RAM.
+//
+// Layout of one segment file (all integers uvarint unless noted):
+//
+//	header:  magic "SCLDSEG1" | tid
+//	chunk*:  plen(>0) | payload | crc32(payload) [4B LE]
+//	           payload = gseq | baseN | lastN | count | chunk bytes
+//	footer:  0x00 | flen(ftr) | ftr | crc32(ftr) [4B LE]
+//	           | uint32 LE total footer length | magic "SCLDFTR1"
+//	           ftr = nchunks, then per chunk:
+//	                 file offset of its plen | gseq | baseN | lastN
+//	                 | count | plen
+//
+// The zero plen sentinel ends the chunk stream, so a sequential scan
+// and the footer index describe the same records; the trailing fixed
+// block lets a reader seek straight to the footer of a sealed
+// segment. Every payload carries its own CRC: a reader that finds a
+// segment without a valid footer (crash mid-write, truncation)
+// recovers the longest valid chunk prefix instead of erroring.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"scaldift/internal/ddg"
+)
+
+const (
+	segMagic = "SCLDSEG1"
+	ftrMagic = "SCLDFTR1"
+
+	manifestName    = "manifest.json"
+	manifestHeader  = "scaldift segmented trace store"
+	manifestVersion = "1"
+)
+
+// chunkMeta locates one chunk inside a segment file, mirroring a
+// footer index entry.
+type chunkMeta struct {
+	off   int64 // file offset of the chunk's plen varint
+	plen  int   // payload length in bytes
+	gseq  uint64
+	baseN uint64
+	lastN uint64
+	count int
+}
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:k]...)
+}
+
+// appendChunkRecord appends the wire form of one spilled chunk and
+// returns the grown dst plus the payload length (the footer index
+// records it). The chunk bytes are copied once, straight into dst;
+// the CRC is computed incrementally over header + Buf.
+func appendChunkRecord(dst []byte, gseq uint64, ch ddg.RawChunk) ([]byte, int) {
+	var hdr [4 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], gseq)
+	n += binary.PutUvarint(hdr[n:], ch.BaseN)
+	n += binary.PutUvarint(hdr[n:], ch.LastN)
+	n += binary.PutUvarint(hdr[n:], uint64(ch.Count))
+	plen := n + len(ch.Buf)
+
+	dst = appendUvarint(dst, uint64(plen))
+	dst = append(dst, hdr[:n]...)
+	dst = append(dst, ch.Buf...)
+	crc := crc32.Update(crc32.ChecksumIEEE(hdr[:n]), crc32.IEEETable, ch.Buf)
+	var cb [4]byte
+	binary.LittleEndian.PutUint32(cb[:], crc)
+	return append(dst, cb[:]...), plen
+}
+
+// parseChunkPayload decodes a chunk payload (CRC already verified)
+// into its metadata; the remaining bytes are the raw chunk buf.
+func parseChunkPayload(payload []byte) (gseq, baseN, lastN uint64, count int, buf []byte, err error) {
+	pos := 0
+	read := func() uint64 {
+		v, k := binary.Uvarint(payload[pos:])
+		if k <= 0 {
+			err = fmt.Errorf("store: short chunk payload")
+			return 0
+		}
+		pos += k
+		return v
+	}
+	gseq = read()
+	baseN = read()
+	lastN = read()
+	count = int(read())
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	return gseq, baseN, lastN, count, payload[pos:], nil
+}
+
+// appendFooter appends the footer block for the given chunk index.
+func appendFooter(dst []byte, chunks []chunkMeta) []byte {
+	var ftr []byte
+	ftr = appendUvarint(ftr, uint64(len(chunks)))
+	for _, cm := range chunks {
+		ftr = appendUvarint(ftr, uint64(cm.off))
+		ftr = appendUvarint(ftr, cm.gseq)
+		ftr = appendUvarint(ftr, cm.baseN)
+		ftr = appendUvarint(ftr, cm.lastN)
+		ftr = appendUvarint(ftr, uint64(cm.count))
+		ftr = appendUvarint(ftr, uint64(cm.plen))
+	}
+
+	start := len(dst)
+	dst = append(dst, 0) // zero plen: end of chunk stream
+	dst = appendUvarint(dst, uint64(len(ftr)))
+	dst = append(dst, ftr...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(ftr))
+	dst = append(dst, crc[:]...)
+	var total [4]byte
+	binary.LittleEndian.PutUint32(total[:], uint32(len(dst)-start+4+len(ftrMagic)))
+	dst = append(dst, total[:]...)
+	return append(dst, ftrMagic...)
+}
+
+// parseFooter decodes a footer's ftr bytes (CRC already verified).
+func parseFooter(ftr []byte) ([]chunkMeta, error) {
+	pos := 0
+	var perr error
+	read := func() uint64 {
+		v, k := binary.Uvarint(ftr[pos:])
+		if k <= 0 {
+			perr = fmt.Errorf("store: short footer")
+			return 0
+		}
+		pos += k
+		return v
+	}
+	n := read()
+	if perr != nil {
+		return nil, perr
+	}
+	chunks := make([]chunkMeta, 0, n)
+	for i := uint64(0); i < n; i++ {
+		cm := chunkMeta{
+			off:   int64(read()),
+			gseq:  read(),
+			baseN: read(),
+			lastN: read(),
+			count: int(read()),
+			plen:  int(read()),
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		chunks = append(chunks, cm)
+	}
+	return chunks, nil
+}
+
+// segHeader renders a segment file header.
+func segHeader(tid int) []byte {
+	dst := []byte(segMagic)
+	return appendUvarint(dst, uint64(tid))
+}
+
+// parseSegHeader validates a header and returns the tid and the
+// offset of the first chunk record.
+func parseSegHeader(b []byte) (tid int, off int64, err error) {
+	if len(b) < len(segMagic) || string(b[:len(segMagic)]) != segMagic {
+		return 0, 0, fmt.Errorf("store: bad segment magic")
+	}
+	v, k := binary.Uvarint(b[len(segMagic):])
+	if k <= 0 {
+		return 0, 0, fmt.Errorf("store: bad segment header")
+	}
+	return int(v), int64(len(segMagic) + k), nil
+}

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestSeg is one segment's manifest entry. Entries are appended
+// in segment-creation order; FirstSeq/LastSeq record where the
+// segment's chunks sit in the store's global append order. The sizing
+// fields are written at seal time and are zero while Sealed is false
+// (a reader learns an unsealed segment's contents by scanning it).
+type manifestSeg struct {
+	File     string `json:"file"`
+	TID      int    `json:"tid"`
+	Sealed   bool   `json:"sealed"`
+	Chunks   int    `json:"chunks"`
+	BaseN    uint64 `json:"base_n"`
+	LastN    uint64 `json:"last_n"`
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// manifest is the store's root metadata document, in the
+// header/version-guarded style of Sia's persist layer.
+type manifest struct {
+	Header   string        `json:"header"`
+	Version  string        `json:"version"`
+	Closed   bool          `json:"closed"`
+	Segments []manifestSeg `json:"segments"`
+}
+
+// writeManifest atomically replaces dir's manifest (temp file +
+// rename), so a crash mid-update leaves the previous manifest intact.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, manifestName))
+}
+
+// readManifest loads and validates dir's manifest.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Header != manifestHeader {
+		return nil, fmt.Errorf("store: wrong manifest header %q", m.Header)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: unsupported manifest version %q", m.Version)
+	}
+	return &m, nil
+}

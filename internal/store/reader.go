@@ -1,0 +1,483 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"scaldift/internal/ddg"
+)
+
+// ReaderOptions tunes a Reader.
+type ReaderOptions struct {
+	// CacheChunks bounds the decoded-chunk cache per thread (default
+	// 8 chunks, matching Compact's in-memory cache): slicing over a
+	// store far larger than RAM keeps only this working set decoded.
+	CacheChunks int
+}
+
+// Reader reopens a store directory as a ddg.Source. Opening reads
+// the manifest and lists the directory (a crashed writer never got to
+// write its final manifest, so segment files not yet listed are
+// discovered by scan); each thread's chunk index loads lazily on
+// first access (sealed segments via their footer, unsealed or
+// damaged segments via a CRC-checked prefix scan), and chunk
+// payloads load and decode on demand through a bounded per-thread
+// cache. No file handles are held between calls, so a store of many
+// thousands of segments never exhausts the fd limit.
+//
+// Reads are safe for concurrent use: threads are sharded into
+// independently locked states, so slicing.ParallelBackward's workers
+// proceed in parallel as long as they touch different threads.
+type Reader struct {
+	dir  string
+	opts ReaderOptions
+
+	threads map[int]*threadState
+	tids    []int
+
+	mu        sync.Mutex
+	recovered bool
+	err       error // first unexpected I/O error (not crash damage)
+}
+
+// threadState is one thread's lazily loaded index and cache.
+type threadState struct {
+	tid    int
+	mu     sync.Mutex
+	segs   []readerSeg
+	loaded bool
+	chunks []tChunk // across segments, ascending baseN
+	cache  map[int]map[uint64][]ddg.Dep
+	fifo   []int
+}
+
+// readerSeg is one segment file of a thread.
+type readerSeg struct {
+	path   string
+	seq    int  // per-thread creation index from the filename
+	sealed bool // manifest says sealed (footer expected)
+}
+
+// tChunk locates one chunk for a thread.
+type tChunk struct {
+	seg int // index into threadState.segs
+	chunkMeta
+}
+
+// errDamage marks on-disk corruption (vs an environmental I/O
+// error): callers degrade to recovery instead of surfacing it.
+var errDamage = errors.New("store: damaged chunk")
+
+// Open opens the store at dir for reading. The writer must have been
+// closed (or have crashed): segment files the manifest never listed
+// and unsealed tails are recovered up to their last intact chunk.
+func Open(dir string, opts ReaderOptions) (*Reader, error) {
+	if opts.CacheChunks <= 0 {
+		opts.CacheChunks = 8
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{dir: dir, opts: opts, threads: make(map[int]*threadState)}
+	listed := make(map[string]bool, len(man.Segments))
+	addSeg := func(tid, seq int, file string, sealed bool) {
+		ts, ok := r.threads[tid]
+		if !ok {
+			ts = &threadState{tid: tid}
+			r.threads[tid] = ts
+			r.tids = append(r.tids, tid)
+		}
+		ts.segs = append(ts.segs, readerSeg{
+			path:   filepath.Join(dir, file),
+			seq:    seq,
+			sealed: sealed,
+		})
+	}
+	for _, ms := range man.Segments {
+		tid, seq, ok := parseSegName(ms.File)
+		if !ok || tid != ms.TID {
+			tid, seq = ms.TID, len(listed)
+		}
+		listed[ms.File] = true
+		addSeg(tid, seq, ms.File, ms.Sealed)
+	}
+	// Directory scan: a crashed run's segments are on disk but not in
+	// the manifest (which is only written at Create and Close).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	strays := false
+	for _, e := range entries {
+		name := e.Name()
+		if listed[name] {
+			continue
+		}
+		if tid, seq, ok := parseSegName(name); ok {
+			addSeg(tid, seq, name, false)
+			strays = true
+		}
+	}
+	if strays && !man.Closed {
+		r.recovered = true
+	}
+	for _, ts := range r.threads {
+		sort.Slice(ts.segs, func(i, j int) bool { return ts.segs[i].seq < ts.segs[j].seq })
+	}
+	sort.Ints(r.tids)
+	return r, nil
+}
+
+// parseSegName decodes a t<tid>-<seq>.seg segment filename.
+func parseSegName(name string) (tid, seq int, ok bool) {
+	var tail string
+	if n, err := fmt.Sscanf(name, "t%d-%d.seg%s", &tid, &seq, &tail); err == nil && n == 3 {
+		return 0, 0, false // trailing garbage
+	} else if n, err := fmt.Sscanf(name, "t%d-%d.seg", &tid, &seq); err != nil || n != 2 {
+		return 0, 0, false
+	}
+	return tid, seq, tid >= 0 && seq >= 0
+}
+
+// Close is a no-op today (the reader holds no file handles between
+// calls); it exists so callers can treat Reader as a resource.
+func (r *Reader) Close() error { return nil }
+
+// Recovered reports whether any segment accessed so far was truncated
+// or corrupt and served a recovered prefix instead of its full index.
+func (r *Reader) Recovered() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recovered
+}
+
+// Err returns the first unexpected I/O error (permissions, fd
+// limits, read failures on intact files). Crash damage — missing,
+// truncated, or corrupt segments — is NOT an error: it is reported
+// through Recovered.
+func (r *Reader) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *Reader) markRecovered() {
+	r.mu.Lock()
+	r.recovered = true
+	r.mu.Unlock()
+}
+
+func (r *Reader) markErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.recovered = true
+	r.mu.Unlock()
+}
+
+// ensureLoaded builds the thread's chunk index on first access
+// (ts.mu held). Each segment file is opened, indexed, and closed.
+func (r *Reader) ensureLoaded(ts *threadState) {
+	if ts.loaded {
+		return
+	}
+	ts.loaded = true
+	for i := range ts.segs {
+		f, err := os.Open(ts.segs[i].path)
+		if err != nil {
+			// A missing segment is crash loss (only its own chunks are
+			// gone); anything else is a real I/O problem worth
+			// surfacing, not silently serving a partial graph.
+			if os.IsNotExist(err) {
+				r.markRecovered()
+			} else {
+				r.markErr(err)
+			}
+			continue
+		}
+		// Footer first (sealed segments, and strays that were sealed
+		// before the crash); fall back to the CRC-checked prefix scan.
+		metas, ok := readFooterIndex(f)
+		if !ok {
+			if ts.segs[i].sealed {
+				r.markRecovered() // promised footer is gone/corrupt
+			}
+			var truncated bool
+			metas, truncated = scanSegment(f)
+			if truncated {
+				r.markRecovered()
+			}
+		}
+		f.Close()
+		for _, cm := range metas {
+			ts.chunks = append(ts.chunks, tChunk{seg: i, chunkMeta: cm})
+		}
+	}
+	ts.cache = make(map[int]map[uint64][]ddg.Dep, r.opts.CacheChunks)
+}
+
+// readFooterIndex parses a sealed segment's trailing footer block.
+func readFooterIndex(f *os.File) ([]chunkMeta, bool) {
+	st, err := f.Stat()
+	if err != nil || st.Size() < int64(8+len(ftrMagic)) {
+		return nil, false
+	}
+	var tail [12]byte // uint32 total length + 8-byte magic
+	if _, err := f.ReadAt(tail[:], st.Size()-12); err != nil {
+		return nil, false
+	}
+	if string(tail[4:]) != ftrMagic {
+		return nil, false
+	}
+	total := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if total <= 12 || total > st.Size() {
+		return nil, false
+	}
+	block := make([]byte, total)
+	if _, err := f.ReadAt(block, st.Size()-total); err != nil {
+		return nil, false
+	}
+	// block = 0x00 | flen | ftr | crc | len | magic
+	if block[0] != 0 {
+		return nil, false
+	}
+	flen, k := binary.Uvarint(block[1:])
+	// Bounds-check before int conversion: a corrupt varint near 2^64
+	// would overflow the arithmetic below into a passing guard and a
+	// panicking slice expression.
+	if k <= 0 || flen > uint64(len(block)) {
+		return nil, false
+	}
+	ftrStart := 1 + k
+	if ftrStart+int(flen)+4 > len(block) {
+		return nil, false
+	}
+	ftr := block[ftrStart : ftrStart+int(flen)]
+	crc := binary.LittleEndian.Uint32(block[ftrStart+int(flen):])
+	if crc32.ChecksumIEEE(ftr) != crc {
+		return nil, false
+	}
+	metas, err := parseFooter(ftr)
+	if err != nil {
+		return nil, false
+	}
+	return metas, true
+}
+
+// scanSegment reads chunk records sequentially, stopping at the
+// footer sentinel, EOF, or the first CRC/framing failure. truncated
+// reports that the scan ended on damage rather than a clean end.
+func scanSegment(f *os.File) (metas []chunkMeta, truncated bool) {
+	data, err := readAll(f)
+	if err != nil {
+		return nil, true
+	}
+	_, pos, err := parseSegHeader(data)
+	if err != nil {
+		return nil, true
+	}
+	for int(pos) < len(data) {
+		plen, k := binary.Uvarint(data[pos:])
+		if k <= 0 || plen > uint64(len(data)) {
+			// Unreadable or absurd length (a corrupt varint near 2^64
+			// would overflow the end arithmetic below): damage.
+			return metas, true
+		}
+		if plen == 0 {
+			return metas, false // footer sentinel: clean end
+		}
+		start := pos + int64(k)
+		end := start + int64(plen) + 4
+		if end > int64(len(data)) {
+			return metas, true // truncated mid-chunk
+		}
+		payload := data[start : start+int64(plen)]
+		crc := binary.LittleEndian.Uint32(data[start+int64(plen) : end])
+		if crc32.ChecksumIEEE(payload) != crc {
+			return metas, true
+		}
+		gseq, baseN, lastN, count, _, err := parseChunkPayload(payload)
+		if err != nil {
+			return metas, true
+		}
+		metas = append(metas, chunkMeta{
+			off: pos, plen: int(plen),
+			gseq: gseq, baseN: baseN, lastN: lastN, count: count,
+		})
+		pos = end
+	}
+	return metas, false
+}
+
+func readAll(f *os.File) ([]byte, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
+
+// loadChunk returns the decoded map of the thread's idx-th chunk
+// (ts.mu held), through the bounded cache. The segment file is
+// opened and closed per load: the cache makes reloads rare, and the
+// reader stays fd-free between calls.
+func (r *Reader) loadChunk(ts *threadState, idx int) (map[uint64][]ddg.Dep, error) {
+	if m, ok := ts.cache[idx]; ok {
+		return m, nil
+	}
+	tc := ts.chunks[idx]
+	f, err := os.Open(ts.segs[tc.seg].path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Skip the leading plen varint: the index records the payload
+	// offset indirectly via off (start of the record) and plen.
+	head := uvarintLen(uint64(tc.plen))
+	payload := make([]byte, tc.plen+4)
+	if _, err := f.ReadAt(payload, tc.off+int64(head)); err != nil {
+		return nil, fmt.Errorf("store: chunk read: %w", err)
+	}
+	crc := binary.LittleEndian.Uint32(payload[tc.plen:])
+	payload = payload[:tc.plen]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("%w: CRC mismatch at %s+%d", errDamage, ts.segs[tc.seg].path, tc.off)
+	}
+	_, baseN, lastN, count, buf, err := parseChunkPayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errDamage, err)
+	}
+	if baseN != tc.baseN || lastN != tc.lastN {
+		return nil, fmt.Errorf("%w: chunk header disagrees with index at %s+%d", errDamage, ts.segs[tc.seg].path, tc.off)
+	}
+	m := ddg.RawChunk{TID: ts.tid, BaseN: baseN, Count: count, Buf: buf}.Decode()
+	ts.cachePut(idx, m, r.opts.CacheChunks)
+	return m, nil
+}
+
+// cachePut inserts a decoded chunk (ts.mu held), evicting FIFO past
+// the bound.
+func (ts *threadState) cachePut(idx int, m map[uint64][]ddg.Dep, bound int) {
+	if len(ts.fifo) >= bound {
+		old := ts.fifo[0]
+		ts.fifo = ts.fifo[1:]
+		delete(ts.cache, old)
+	}
+	ts.cache[idx] = m
+	ts.fifo = append(ts.fifo, idx)
+}
+
+// findChunk locates the chunk holding instance n (ts.mu held, index
+// loaded).
+func (ts *threadState) findChunk(n uint64) int {
+	i := sort.Search(len(ts.chunks), func(i int) bool { return ts.chunks[i].lastN >= n })
+	if i < len(ts.chunks) && ts.chunks[i].baseN <= n && n <= ts.chunks[i].lastN && ts.chunks[i].count > 0 {
+		return i
+	}
+	return -1
+}
+
+// Threads implements ddg.Source.
+func (r *Reader) Threads() []int {
+	out := make([]int, 0, len(r.tids))
+	for _, tid := range r.tids {
+		ts := r.threads[tid]
+		ts.mu.Lock()
+		r.ensureLoaded(ts)
+		n := len(ts.chunks)
+		ts.mu.Unlock()
+		if n > 0 {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// Window implements ddg.Source: the whole recovered on-disk range.
+func (r *Reader) Window(tid int) (uint64, uint64) {
+	ts, ok := r.threads[tid]
+	if !ok {
+		return 0, 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	r.ensureLoaded(ts)
+	if len(ts.chunks) == 0 {
+		return 0, 0
+	}
+	return ts.chunks[0].baseN, ts.chunks[len(ts.chunks)-1].lastN
+}
+
+// DepsOf implements ddg.Source.
+func (r *Reader) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
+	deps := r.depsAt(id)
+	for _, d := range deps {
+		yield(d)
+	}
+}
+
+// depsAt returns the stored deps of id (possibly nil).
+func (r *Reader) depsAt(id ddg.ID) []ddg.Dep {
+	ts, ok := r.threads[id.TID()]
+	if !ok {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	r.ensureLoaded(ts)
+	idx := ts.findChunk(id.N())
+	if idx < 0 {
+		return nil
+	}
+	m, err := r.loadChunk(ts, idx)
+	if err != nil {
+		// A chunk that indexed cleanly but fails its payload CRC (or
+		// vanished) is damage past the index's guarantees: serve what
+		// remains. Other I/O failures additionally surface via Err.
+		if os.IsNotExist(err) || errors.Is(err, errDamage) ||
+			errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			r.markRecovered()
+		} else {
+			r.markErr(err)
+		}
+		// Negative-cache the chunk: without this, a slice walking the
+		// hundreds of instances a damaged chunk covers would re-open,
+		// re-read, and re-CRC it once per query.
+		ts.cachePut(idx, nil, r.opts.CacheChunks)
+		return nil
+	}
+	return m[id.N()]
+}
+
+// NodePC implements ddg.Source (recorded nodes only).
+func (r *Reader) NodePC(id ddg.ID) (int32, bool) {
+	deps := r.depsAt(id)
+	if len(deps) == 0 {
+		return 0, false
+	}
+	return deps[0].UsePC, true
+}
+
+// Chunks returns the total indexed chunk count (loading every
+// thread's index).
+func (r *Reader) Chunks() int {
+	n := 0
+	for _, tid := range r.tids {
+		ts := r.threads[tid]
+		ts.mu.Lock()
+		r.ensureLoaded(ts)
+		n += len(ts.chunks)
+		ts.mu.Unlock()
+	}
+	return n
+}
+
+var _ ddg.Source = (*Reader)(nil)

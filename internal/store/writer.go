@@ -1,0 +1,329 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"scaldift/internal/ddg"
+)
+
+// Options shapes a Writer.
+type Options struct {
+	// Dir is the store directory (created if missing).
+	Dir string
+	// SegmentBytes seals a segment once its chunk records reach this
+	// size; <= 0 selects the 1MB default.
+	SegmentBytes int
+	// Async moves file I/O onto a dedicated writer goroutine:
+	// SpillChunk only enqueues, so recording throughput is not gated
+	// on the disk. Close drains the queue.
+	Async bool
+	// QueueDepth bounds the async queue (default 256 chunks).
+	QueueDepth int
+	// SyncOnSeal fsyncs a segment before the manifest marks it
+	// sealed, making sealed data crash-durable at the cost of
+	// throughput.
+	SyncOnSeal bool
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+}
+
+// Writer spills sealed compact chunks into per-thread segment files
+// under one directory. It implements ddg.ChunkSink and is safe for
+// concurrent SpillChunk calls (the offloaded stage's per-thread
+// append workers all feed one Writer). I/O errors are sticky: the
+// first one stops further writes and surfaces from Err and Close.
+type Writer struct {
+	opts Options
+
+	mu       sync.Mutex
+	segs     map[int]*openSeg
+	segCount map[int]int // per-tid segment name counter
+	man      manifest
+	gseq     uint64
+	chunks   uint64
+	bytes    uint64 // chunk payload bytes spilled
+	sealed   uint64 // segments sealed
+	err      error
+	closed   bool
+
+	// Async plumbing. sendMu (not mu) guards the in-channel lifecycle:
+	// senders hold it shared around the send, Close takes it exclusive
+	// after setting closing, so a late SpillChunk degrades to the sync
+	// path's silent no-op instead of panicking on a closed channel.
+	// The writer goroutine never touches sendMu, so a sender blocked
+	// on a full queue always drains.
+	sendMu  sync.RWMutex
+	closing bool
+	in      chan ddg.RawChunk
+	done    chan struct{}
+}
+
+// openSeg is one thread's active segment file.
+type openSeg struct {
+	tid    int
+	file   string // basename
+	f      *os.File
+	size   int64 // bytes written so far
+	index  []chunkMeta
+	manIdx int // index of this segment's manifest entry
+	buf    []byte
+}
+
+// Create opens (or creates) the store directory and returns a writer.
+// An existing store in the directory is replaced: stale segment files
+// and manifest are removed so the new run's manifest never references
+// another run's segments.
+func Create(opts Options) (*Writer, error) {
+	opts.fill()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		// Manifest, orphaned manifest temp files from a crashed
+		// atomic rewrite, and segment files.
+		if strings.HasPrefix(name, manifestName) || filepath.Ext(name) == ".seg" {
+			if err := os.Remove(filepath.Join(opts.Dir, name)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	w := &Writer{
+		opts:     opts,
+		segs:     make(map[int]*openSeg),
+		segCount: make(map[int]int),
+		man:      manifest{Header: manifestHeader, Version: manifestVersion},
+	}
+	if err := writeManifest(opts.Dir, &w.man); err != nil {
+		return nil, err
+	}
+	if opts.Async {
+		w.in = make(chan ddg.RawChunk, opts.QueueDepth)
+		w.done = make(chan struct{})
+		go func() {
+			for ch := range w.in {
+				w.mu.Lock()
+				w.spill(ch)
+				w.mu.Unlock()
+			}
+			close(w.done)
+		}()
+	}
+	return w, nil
+}
+
+// SpillChunk implements ddg.ChunkSink. Safe for concurrent use; in
+// async mode it only enqueues. The chunk's Buf must be immutable
+// (sealed Compact chunks are). Chunks spilled after Close are
+// dropped.
+func (w *Writer) SpillChunk(ch ddg.RawChunk) {
+	if w.in != nil {
+		w.sendMu.RLock()
+		if !w.closing {
+			w.in <- ch
+		}
+		w.sendMu.RUnlock()
+		return
+	}
+	w.mu.Lock()
+	w.spill(ch)
+	w.mu.Unlock()
+}
+
+// spill writes one chunk record (w.mu held).
+func (w *Writer) spill(ch ddg.RawChunk) {
+	if w.err != nil || w.closed {
+		return
+	}
+	seg, err := w.segFor(ch.TID)
+	if err != nil {
+		w.err = err
+		return
+	}
+	rec, plen := appendChunkRecord(seg.buf[:0], w.gseq, ch)
+	seg.buf = rec[:0]
+	if _, err := seg.f.Write(rec); err != nil {
+		w.err = err
+		return
+	}
+	seg.index = append(seg.index, chunkMeta{
+		off:   seg.size,
+		plen:  plen,
+		gseq:  w.gseq,
+		baseN: ch.BaseN,
+		lastN: ch.LastN,
+		count: ch.Count,
+	})
+	seg.size += int64(len(rec))
+	w.gseq++
+	w.chunks++
+	w.bytes += uint64(len(ch.Buf))
+	if seg.size >= int64(w.opts.SegmentBytes) {
+		w.sealSeg(seg)
+	}
+}
+
+// segFor returns tid's active segment, creating its file and
+// in-memory manifest entry on first use (w.mu held). The manifest
+// itself is only written at Create and Close: a crashed run leaves
+// segment files the reader discovers by directory scan, so no
+// per-segment manifest rewrite (quadratic I/O at scale) is needed
+// for crash safety.
+func (w *Writer) segFor(tid int) (*openSeg, error) {
+	if seg, ok := w.segs[tid]; ok {
+		return seg, nil
+	}
+	name := fmt.Sprintf("t%d-%d.seg", tid, w.segCount[tid])
+	w.segCount[tid]++
+	f, err := os.OpenFile(filepath.Join(w.opts.Dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if w.opts.SyncOnSeal {
+		// Make the new directory entry durable, so a sealed-and-synced
+		// segment cannot vanish with its directory entry on power loss.
+		if err := syncDir(w.opts.Dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	hdr := segHeader(tid)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &openSeg{tid: tid, file: name, f: f, size: int64(len(hdr)), manIdx: len(w.man.Segments)}
+	w.man.Segments = append(w.man.Segments, manifestSeg{File: name, TID: tid})
+	w.segs[tid] = seg
+	return seg, nil
+}
+
+// sealSeg writes the footer, optionally fsyncs, closes the file, and
+// marks the in-memory manifest entry sealed (w.mu held). Errors are
+// sticky.
+func (w *Writer) sealSeg(seg *openSeg) {
+	ftr := appendFooter(nil, seg.index)
+	if _, err := seg.f.Write(ftr); err != nil {
+		w.err = err
+		return
+	}
+	if w.opts.SyncOnSeal {
+		if err := seg.f.Sync(); err != nil {
+			w.err = err
+			return
+		}
+	}
+	if err := seg.f.Close(); err != nil {
+		w.err = err
+		return
+	}
+	m := &w.man.Segments[seg.manIdx]
+	m.Sealed = true
+	m.Chunks = len(seg.index)
+	m.Bytes = seg.size + int64(len(ftr))
+	if n := len(seg.index); n > 0 {
+		m.BaseN = seg.index[0].baseN
+		m.LastN = seg.index[n-1].lastN
+		m.FirstSeq = seg.index[0].gseq
+		m.LastSeq = seg.index[n-1].gseq
+	}
+	delete(w.segs, seg.tid)
+	w.sealed++
+}
+
+// syncDir fsyncs a directory, making renames and entry creations in
+// it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Close drains the async queue, seals every open segment, and writes
+// the final manifest. Idempotent; returns the first sticky error.
+func (w *Writer) Close() error {
+	if w.in != nil {
+		w.sendMu.Lock()
+		already := w.closing
+		w.closing = true
+		w.sendMu.Unlock()
+		if !already {
+			close(w.in)
+		}
+		<-w.done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	for _, seg := range w.segs {
+		if w.err != nil {
+			seg.f.Close()
+			continue
+		}
+		w.sealSeg(seg)
+	}
+	w.segs = nil
+	w.closed = true
+	if w.err == nil {
+		w.man.Closed = true
+		w.err = writeManifest(w.opts.Dir, &w.man)
+		if w.err == nil && w.opts.SyncOnSeal {
+			w.err = syncDir(w.opts.Dir)
+		}
+	}
+	return w.err
+}
+
+// Err returns the sticky I/O error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// ChunksSpilled returns the number of chunk records written.
+func (w *Writer) ChunksSpilled() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.chunks
+}
+
+// BytesSpilled returns the cumulative raw chunk bytes written
+// (excluding framing), comparable to Compact.BytesWritten.
+func (w *Writer) BytesSpilled() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// SegmentsSealed returns the number of sealed segment files.
+func (w *Writer) SegmentsSealed() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sealed
+}
+
+var _ ddg.ChunkSink = (*Writer)(nil)
