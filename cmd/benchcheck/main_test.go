@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: scaldift/internal/store
+cpu: Some CPU
+BenchmarkStoreSpillSync-8    	     100	  12345 ns/op	 900.00 MB/s	215716 chunks/s
+BenchmarkStoreSpillAsync     	      50	  23456 ns/op	 400.00 MB/s
+BenchmarkPipelineStreamAggLineageW2-8 	      10	 1000000 ns/op	 2500000 events/s	       3.100 x-native
+BenchmarkOntracPipelinePsumRecordOnly-8 	       1	 2601718 ns/op	18000000 events/s
+garbage line
+BenchmarkBroken abc
+PASS
+ok  	scaldift/internal/store	1.0s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	m, err := parseBenchOutput(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, unit string
+		want       float64
+	}{
+		{"BenchmarkStoreSpillSync", "MB/s", 900},
+		{"BenchmarkStoreSpillSync", "chunks/s", 215716},
+		{"BenchmarkStoreSpillAsync", "MB/s", 400}, // no -P suffix
+		{"BenchmarkPipelineStreamAggLineageW2", "events/s", 2.5e6},
+		{"BenchmarkPipelineStreamAggLineageW2", "x-native", 3.1},
+		{"BenchmarkOntracPipelinePsumRecordOnly", "events/s", 1.8e7},
+	}
+	for _, c := range cases {
+		if got := m[c.name][c.unit]; got != c.want {
+			t.Errorf("%s %s = %v, want %v", c.name, c.unit, got, c.want)
+		}
+	}
+	if _, ok := m["BenchmarkBroken"]; ok {
+		t.Error("malformed line parsed as a result")
+	}
+}
+
+func TestLoadBaselinesFromRepo(t *testing.T) {
+	// The real checked-in baselines must map onto real benchmark
+	// names; this pins the name derivation against the JSON shapes.
+	b, err := loadBaselines("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"BenchmarkStoreSpillSync",
+		"BenchmarkStoreSpillAsync",
+		"BenchmarkPipelineStreamAggLineageInline",
+		"BenchmarkPipelineStreamAggLineageW2",
+		"BenchmarkPipelineKeyedMergeLineageW2",
+		"BenchmarkPipelineMapReduceLineageInline",
+		"BenchmarkPipelineStreamAggBoolW2",
+		"BenchmarkOntracPipelineCompressInline",
+		"BenchmarkOntracPipelineCompressRecordOnly",
+		"BenchmarkOntracPipelineCompressOffloadedW2",
+		"BenchmarkOntracPipelineMatmulOffloadedW4",
+		"BenchmarkOntracPipelinePsumRecordOnly",
+	} {
+		m, ok := b[name]
+		if !ok {
+			t.Errorf("baseline for %s not derived", name)
+			continue
+		}
+		unit := "events/s"
+		if strings.HasPrefix(name, "BenchmarkStore") {
+			unit = "MB/s"
+		}
+		if m[unit] <= 0 {
+			t.Errorf("%s: no positive %s baseline (%v)", name, unit, m)
+		}
+	}
+}
+
+func TestCompareAndMarkdown(t *testing.T) {
+	baselines := map[string]metrics{
+		"BenchmarkA": {"events/s": 1000},
+		"BenchmarkB": {"MB/s": 100},
+		"BenchmarkC": {"events/s": 500}, // not run: unchecked
+	}
+	measured := map[string]metrics{
+		"BenchmarkA": {"events/s": 900},         // -10%: ok
+		"BenchmarkB": {"MB/s": 50, "ns/op": 12}, // -50%: regression
+		"BenchmarkD": {"events/s": 1},           // no baseline: ignored
+	}
+	rows := compare(measured, baselines, 0.30)
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d: %+v", len(rows), rows)
+	}
+	if rows[0].name != "BenchmarkA" || rows[0].regressed {
+		t.Errorf("row A wrong: %+v", rows[0])
+	}
+	if rows[1].name != "BenchmarkB" || !rows[1].regressed {
+		t.Errorf("row B wrong: %+v", rows[1])
+	}
+	md := markdown(rows, 0.30)
+	if !strings.Contains(md, "**REGRESSION**") || !strings.Contains(md, "| BenchmarkA |") {
+		t.Errorf("markdown missing content:\n%s", md)
+	}
+
+	// Exactly at the threshold is not a regression (> not >=).
+	edge := compare(map[string]metrics{"BenchmarkA": {"events/s": 700}},
+		map[string]metrics{"BenchmarkA": {"events/s": 1000}}, 0.30)
+	if edge[0].regressed {
+		t.Error("30% drop at a 30% threshold flagged")
+	}
+	// An improvement is never a regression.
+	up := compare(map[string]metrics{"BenchmarkA": {"events/s": 5000}},
+		map[string]metrics{"BenchmarkA": {"events/s": 1000}}, 0.30)
+	if up[0].regressed {
+		t.Error("improvement flagged as regression")
+	}
+}

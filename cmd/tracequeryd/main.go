@@ -1,0 +1,159 @@
+// Command tracequeryd is the trace query service daemon: it watches
+// one or more root directories for closed trace stores
+// (internal/store), holds open readers over the fleet, and serves
+// slice and taint-provenance queries over HTTP (internal/query).
+//
+//	tracequeryd -addr :8733 -root /var/traces -refresh 10s
+//
+// Newly closed trace directories under the roots are picked up by the
+// periodic refresh (or POST /v1/refresh) without a restart. With
+// -attach-workloads, traces whose directory name matches a built-in
+// workload ("<name>" or "<name>-...") get that workload's program
+// attached, enabling statement-level lines, O1 reconstruction, and
+// provenance; traces recorded outside the built-in suite are served
+// as raw PC sets.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"scaldift/internal/ontrac"
+	"scaldift/internal/prog"
+	"scaldift/internal/query"
+)
+
+// multiFlag collects a repeatable -root flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var roots multiFlag
+	addr := flag.String("addr", ":8733", "listen address")
+	flag.Var(&roots, "root", "trace root directory (repeatable); each root and its immediate subdirectories are scanned for closed stores")
+	refresh := flag.Duration("refresh", 10*time.Second, "registry refresh interval (0 disables the timer; POST /v1/refresh still works)")
+	maxQueries := flag.Int("max-queries", 4, "concurrent slice/provenance query limit")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-query deadline")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "clamp on requested per-query deadlines")
+	budget := flag.Int64("budget-chunks", 0, "default per-query chunk-load budget (0 = unlimited)")
+	workers := flag.Int("workers", 8, "default traversal shard switch")
+	cacheChunks := flag.Int("cache-chunks", 0, "per-thread decoded-chunk cache bound per trace reader (0 = store default)")
+	attach := flag.Bool("attach-workloads", true, "attach built-in workload programs to traces named after them")
+	flag.Parse()
+	if len(roots) == 0 {
+		fmt.Fprintln(os.Stderr, "tracequeryd: at least one -root is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := query.NewRegistry(roots, query.RegistryOptions{CacheChunks: *cacheChunks})
+	// onAdded runs for every discovery path — the startup scan, the
+	// ticker, and POST /v1/refresh (via ServerOptions.OnRefresh) — so
+	// a trace gets its program no matter which refresher finds it.
+	onAdded := func(added []string) {
+		if *attach {
+			attachWorkloads(reg, added)
+		}
+		if len(added) > 0 {
+			log.Printf("registered %d trace(s): %s (fleet: %d)", len(added), strings.Join(added, ", "), reg.Len())
+		}
+	}
+	refreshOnce := func() {
+		added, err := reg.Refresh()
+		if err != nil {
+			log.Printf("refresh: %v", err)
+		}
+		onAdded(added)
+	}
+	refreshOnce()
+	log.Printf("serving %d trace(s) from %d root(s) on %s", reg.Len(), len(roots), *addr)
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: query.NewServer(reg, query.ServerOptions{
+			MaxConcurrent:    *maxQueries,
+			DefaultDeadline:  *deadline,
+			MaxDeadline:      *maxDeadline,
+			Workers:          *workers,
+			BudgetChunkLoads: *budget,
+			OnRefresh:        onAdded,
+		}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan struct{})
+	if *refresh > 0 {
+		go func() {
+			t := time.NewTicker(*refresh)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					refreshOnce()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case s := <-sig:
+		log.Printf("signal %v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	close(stop)
+}
+
+// attachWorkloads attaches built-in workload programs to newly added
+// traces whose id is the workload name, optionally followed by a "-"
+// suffix (the recording convention "<workload>-<run>") and/or the
+// registry's "@N" id-collision suffix.
+func attachWorkloads(reg *query.Registry, ids []string) {
+	byName := make(map[string]*prog.Workload)
+	for _, w := range prog.All() {
+		byName[w.Name] = w
+	}
+	opts := ontrac.StaticOptions()
+	for _, id := range ids {
+		name := id
+		if i := strings.IndexByte(name, '@'); i > 0 {
+			name = name[:i]
+		}
+		if i := strings.IndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		w, ok := byName[name]
+		if !ok {
+			continue
+		}
+		if err := reg.AttachProgram(id, w.Prog, opts); err != nil {
+			log.Printf("attach %s: %v", id, err)
+			continue
+		}
+		log.Printf("trace %s: attached program %q (O1 reconstruction on)", id, w.Name)
+	}
+}

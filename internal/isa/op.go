@@ -19,7 +19,7 @@ type Op uint8
 // effective address Rs1+Imm. Control instructions use Target (a label
 // resolved to an instruction index by the assembler/builder).
 const (
-	NOP Op = iota
+	NOP  Op = iota
 	HALT    // stop the current thread
 	FAIL    // stop the whole machine, marking the run as failed
 
@@ -56,15 +56,15 @@ const (
 	ALLOC // Rd = address of a fresh block of Rs1 words (bump allocator)
 
 	// Control flow.
-	BR   // PC = Target
-	BEQ  // if Rs1 == Rs2: PC = Target
-	BNE  // if Rs1 != Rs2: PC = Target
-	BLT  // if Rs1 <  Rs2: PC = Target
-	BGE  // if Rs1 >= Rs2: PC = Target
-	BEQZ // if Rs1 == 0:   PC = Target
-	BNEZ // if Rs1 != 0:   PC = Target
-	CALL // push return PC on the call stack; PC = Target
-	RET  // pop the call stack
+	BR    // PC = Target
+	BEQ   // if Rs1 == Rs2: PC = Target
+	BNE   // if Rs1 != Rs2: PC = Target
+	BLT   // if Rs1 <  Rs2: PC = Target
+	BGE   // if Rs1 >= Rs2: PC = Target
+	BEQZ  // if Rs1 == 0:   PC = Target
+	BNEZ  // if Rs1 != 0:   PC = Target
+	CALL  // push return PC on the call stack; PC = Target
+	RET   // pop the call stack
 	BRR   // PC = Rs1 (indirect jump; the attack-detection target)
 	CALLR // push return PC; PC = Rs1 (indirect call)
 

@@ -1,0 +1,122 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzQueryCodec fuzzes the query/response JSON codec two ways:
+//
+//  1. raw bytes through the strict request decoders — must never
+//     panic, and anything that decodes must survive an
+//     encode/decode round trip unchanged (codec stability);
+//  2. a fuzzed in-memory request/response model through
+//     encode→decode — must come back DeepEqual, and the decoder's
+//     accept/reject verdict must agree with the model's Validate.
+func FuzzQueryCodec(f *testing.F) {
+	f.Add([]byte(`{"trace":"t","direction":"backward","criteria":[{"tid":0}]}`),
+		"t", "backward", 0, uint64(0), false, int32(0), true, false, 10, 4, int64(100), int64(5), false, 1.5)
+	f.Add([]byte(`{"trace":"x","direction":"forward","criteria":[{"tid":3,"n":17,"pc":42}],"follow_control":true}`),
+		"x", "forward", 3, uint64(17), true, int32(42), false, true, 0, 0, int64(0), int64(0), true, 0.0)
+	f.Add([]byte(`{"trace":"t","direction":"backward","criteria":[{"tid":0}],"bogus":1}`),
+		"", "sideways", -1, uint64(1)<<60, true, int32(-7), false, false, -1, 999, int64(-2), int64(-3), false, math.Inf(1))
+
+	f.Fuzz(func(t *testing.T, raw []byte,
+		trace, direction string, tid int, n uint64, hasPC bool, pc int32,
+		followControl, followAnti bool, maxNodes, workers int,
+		deadlineMillis, budget int64, rawFlag bool, wall float64) {
+
+		// Part 1: arbitrary bytes through the strict decoders.
+		if req, err := DecodeSliceRequest(bytes.NewReader(raw)); err == nil {
+			data, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("decoded request failed to re-encode: %v", err)
+			}
+			again, err := DecodeSliceRequest(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("re-encoded request rejected: %v\n%s", err, data)
+			}
+			if !reflect.DeepEqual(req, again) {
+				t.Fatalf("request round trip drifted:\n1st %+v\n2nd %+v", req, again)
+			}
+		}
+		if preq, err := DecodeProvenanceRequest(bytes.NewReader(raw)); err == nil {
+			data, _ := json.Marshal(preq)
+			again, err := DecodeProvenanceRequest(bytes.NewReader(data))
+			if err != nil || !reflect.DeepEqual(preq, again) {
+				t.Fatalf("provenance round trip drifted (%v)", err)
+			}
+		}
+
+		// Part 2: the in-memory model through the codec. JSON strings
+		// cannot carry invalid UTF-8 (Marshal substitutes U+FFFD), so
+		// such ids are out of the wire model by construction.
+		if !utf8.ValidString(trace) || !utf8.ValidString(direction) {
+			return
+		}
+		model := &SliceRequest{
+			Trace:            trace,
+			Direction:        direction,
+			Criteria:         []Criterion{{TID: tid, N: n}},
+			FollowControl:    followControl,
+			FollowAnti:       followAnti,
+			MaxNodes:         maxNodes,
+			Workers:          workers,
+			DeadlineMillis:   deadlineMillis,
+			BudgetChunkLoads: budget,
+			Raw:              rawFlag,
+		}
+		if hasPC {
+			model.Criteria[0].PC = &pc
+		}
+		data, err := json.Marshal(model)
+		if err != nil {
+			t.Fatalf("model failed to encode: %v", err)
+		}
+		decoded, err := DecodeSliceRequest(bytes.NewReader(data))
+		if verr := model.Validate(); verr != nil {
+			if err == nil {
+				t.Fatalf("decoder accepted a request Validate rejects (%v):\n%s", verr, data)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("decoder rejected a valid model: %v\n%s", err, data)
+		}
+		if !reflect.DeepEqual(model, decoded) {
+			t.Fatalf("model round trip drifted:\nsent %+v\ngot  %+v", model, decoded)
+		}
+
+		// Response model: numeric fields must survive the wire exactly
+		// (JSON numbers are emitted as digits, not floats).
+		if !math.IsNaN(wall) && !math.IsInf(wall, 0) {
+			resp := &SliceResponse{
+				Trace:           trace,
+				Direction:       direction,
+				PCs:             []int32{pc, pc + 1},
+				Nodes:           maxNodes,
+				Edges:           workers,
+				ChunkLoads:      budget,
+				WallMillis:      wall,
+				BudgetExhausted: followAnti,
+				Interrupted:     rawFlag,
+				ShardBusyMillis: map[string]float64{"0": wall},
+			}
+			data, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatalf("response failed to encode: %v", err)
+			}
+			var back SliceResponse
+			if err := decodeStrict(bytes.NewReader(data), &back); err != nil {
+				t.Fatalf("response rejected by strict decode: %v\n%s", err, data)
+			}
+			if !reflect.DeepEqual(resp, &back) {
+				t.Fatalf("response round trip drifted:\nsent %+v\ngot  %+v", resp, &back)
+			}
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package query
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/isa"
+	"scaldift/internal/ontrac"
+	"scaldift/internal/store"
+)
+
+// RegistryOptions shapes a Registry.
+type RegistryOptions struct {
+	// CacheChunks is each reader's per-thread decoded-chunk cache
+	// bound (store.ReaderOptions.CacheChunks); 0 takes the store
+	// default. The cache is shared by every query against the trace;
+	// per-query budgets bound how much of it one query may churn.
+	CacheChunks int
+}
+
+// Registry discovers and holds open store.Readers over a fleet of
+// trace directories. Refresh scans the roots for stores whose writer
+// has closed (manifest Closed) and registers each exactly once, so a
+// recording box can keep dropping new trace directories under a root
+// and a periodic refresh publishes them without a restart. A
+// directory still being written (no final manifest yet) is skipped
+// until its writer closes.
+//
+// All methods are safe for concurrent use; reads take a shared lock,
+// so queries never wait on a refresh's directory scan.
+type Registry struct {
+	roots []string
+	opts  RegistryOptions
+
+	mu     sync.RWMutex
+	traces map[string]*Trace
+	byDir  map[string]bool // canonical dirs already registered
+}
+
+// Trace is one registered trace directory: the open reader plus the
+// metadata the service reports. Immutable after registration except
+// the program attachment, which swaps in atomically.
+type Trace struct {
+	ID  string
+	Dir string
+
+	reader  *store.Reader
+	threads []ThreadWindow
+	chunks  int
+
+	attached atomic.Pointer[progAttachment]
+}
+
+// progAttachment pairs a program with its O1 reconstructor.
+type progAttachment struct {
+	prog  *isa.Program
+	recon *ontrac.Reconstructor
+}
+
+// NewRegistry builds an empty registry over the root directories.
+// Call Refresh to populate it.
+func NewRegistry(roots []string, opts RegistryOptions) *Registry {
+	return &Registry{
+		roots:  append([]string(nil), roots...),
+		opts:   opts,
+		traces: make(map[string]*Trace),
+		byDir:  make(map[string]bool),
+	}
+}
+
+// Refresh scans every root for closed trace stores not yet
+// registered, opens them, and returns the new trace ids. Candidate
+// directories are each root itself and its immediate subdirectories.
+// The first error opening a store is returned after the scan
+// completes (other candidates still register); "not a store" and
+// "not closed yet" are not errors.
+func (g *Registry) Refresh() ([]string, error) {
+	var added []string
+	var firstErr error
+	for _, root := range g.roots {
+		cands := []string{root}
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			if !os.IsNotExist(err) && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				cands = append(cands, filepath.Join(root, e.Name()))
+			}
+		}
+		for _, dir := range cands {
+			id, ok, err := g.register(dir)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if ok {
+				added = append(added, id)
+			}
+		}
+	}
+	sort.Strings(added)
+	return added, firstErr
+}
+
+// register opens dir if it is an unregistered closed store. ok
+// reports a new registration.
+func (g *Registry) register(dir string) (id string, ok bool, err error) {
+	canon := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		canon = abs
+	}
+	g.mu.RLock()
+	seen := g.byDir[canon]
+	g.mu.RUnlock()
+	if seen {
+		return "", false, nil
+	}
+	closed, err := store.IsClosed(dir)
+	if err != nil || !closed {
+		return "", false, err
+	}
+	r, err := store.Open(dir, store.ReaderOptions{CacheChunks: g.opts.CacheChunks})
+	if err != nil {
+		return "", false, fmt.Errorf("query: open %s: %w", dir, err)
+	}
+	// Load indexes now: windows and chunk counts are fixed for a
+	// closed trace, and queries start against a warm index.
+	t := &Trace{Dir: dir, reader: r, chunks: r.Chunks()}
+	for _, tid := range r.Threads() {
+		lo, hi := r.Window(tid)
+		t.threads = append(t.threads, ThreadWindow{TID: tid, Lo: lo, Hi: hi})
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.byDir[canon] { // raced with another refresh
+		return "", false, nil
+	}
+	base := filepath.Base(canon)
+	id = base
+	for n := 2; ; n++ {
+		if _, taken := g.traces[id]; !taken {
+			break
+		}
+		id = fmt.Sprintf("%s@%d", base, n)
+	}
+	t.ID = id
+	g.traces[id] = t
+	g.byDir[canon] = true
+	return id, true, nil
+}
+
+// Get returns the trace by id.
+func (g *Registry) Get(id string) (*Trace, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	t, ok := g.traces[id]
+	return t, ok
+}
+
+// Len returns the fleet size.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.traces)
+}
+
+// List returns every registered trace's info, sorted by id.
+func (g *Registry) List() []TraceInfo {
+	g.mu.RLock()
+	traces := make([]*Trace, 0, len(g.traces))
+	for _, t := range g.traces {
+		traces = append(traces, t)
+	}
+	g.mu.RUnlock()
+	sort.Slice(traces, func(i, j int) bool { return traces[i].ID < traces[j].ID })
+	out := make([]TraceInfo, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.Info())
+	}
+	return out
+}
+
+// AttachProgram associates a program with a trace, enabling
+// statement-level lines, provenance queries, and O1 reconstruction
+// (composed via ontrac.NewStaticReconstructor over the stored
+// records). opts should be the recording configuration; see
+// ontrac.StaticOptions.
+func (g *Registry) AttachProgram(id string, p *isa.Program, opts ontrac.Options) error {
+	t, ok := g.Get(id)
+	if !ok {
+		return fmt.Errorf("query: unknown trace %q", id)
+	}
+	t.attached.Store(&progAttachment{
+		prog:  p,
+		recon: ontrac.NewStaticReconstructor(p, opts),
+	})
+	return nil
+}
+
+// Info reports the trace's registry metadata.
+func (t *Trace) Info() TraceInfo {
+	info := TraceInfo{
+		ID:        t.ID,
+		Dir:       t.Dir,
+		Threads:   append([]ThreadWindow(nil), t.threads...),
+		Chunks:    t.chunks,
+		Recovered: t.reader.Recovered(),
+	}
+	if a := t.attached.Load(); a != nil {
+		info.Program = a.prog.Name
+		info.Reconstructing = true
+	}
+	return info
+}
+
+// Program returns the attached program, if any.
+func (t *Trace) Program() *isa.Program {
+	if a := t.attached.Load(); a != nil {
+		return a.prog
+	}
+	return nil
+}
+
+// Source builds the ddg.Source one query traverses: the shared
+// reader, viewed through the query's budget (nil = unlimited), with
+// O1 reconstruction composed on top unless raw or no program is
+// attached.
+func (t *Trace) Source(b *store.Budget, raw bool) ddg.Source {
+	var src ddg.Source = t.reader
+	if b != nil {
+		src = t.reader.Budgeted(b)
+	}
+	if a := t.attached.Load(); a != nil && !raw {
+		return a.recon.ReaderOver(src)
+	}
+	return src
+}
+
+// Window returns the thread's retained range from the registration
+// snapshot (lo = hi = 0 for unknown threads).
+func (t *Trace) Window(tid int) (lo, hi uint64) {
+	for _, w := range t.threads {
+		if w.TID == tid {
+			return w.Lo, w.Hi
+		}
+	}
+	return 0, 0
+}

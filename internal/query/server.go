@@ -1,0 +1,334 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/isa"
+	"scaldift/internal/slicing"
+	"scaldift/internal/store"
+)
+
+// ServerOptions tunes the query service.
+type ServerOptions struct {
+	// MaxConcurrent bounds simultaneously executing slice/provenance
+	// queries (default 4). Excess queries wait in line until their
+	// deadline, then get 503.
+	MaxConcurrent int
+	// DefaultDeadline applies when a request names none (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps requested deadlines (default 2m).
+	MaxDeadline time.Duration
+	// Workers is the default traversal shard switch handed to
+	// slicing.ParallelBackward / ParallelForward (default 8; the Go
+	// scheduler multiplexes shards over the machine).
+	Workers int
+	// BudgetChunkLoads is the default per-query chunk-decode budget;
+	// 0 means unlimited unless the request asks for a budget.
+	BudgetChunkLoads int64
+	// OnRefresh, when non-nil, runs after every successful POST
+	// /v1/refresh that registered new traces, with their ids — the
+	// same hook a daemon's periodic refresh uses (e.g. attaching
+	// workload programs), so both discovery paths behave identically.
+	OnRefresh func(added []string)
+}
+
+func (o *ServerOptions) fill() {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 4
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = 30 * time.Second
+	}
+	if o.MaxDeadline <= 0 {
+		o.MaxDeadline = 2 * time.Minute
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+}
+
+// Server is the HTTP layer over a Registry. Endpoints:
+//
+//	GET  /v1/healthz     liveness
+//	GET  /v1/stats       query counters
+//	GET  /v1/traces      the registered fleet
+//	POST /v1/refresh     rescan roots for newly closed traces
+//	POST /v1/slice       SliceRequest -> SliceResponse
+//	POST /v1/provenance  ProvenanceRequest -> ProvenanceResponse
+//
+// Every query runs under a deadline (cancelling the traversal
+// cooperatively), inside the concurrency limit, against its own
+// chunk-load budget.
+type Server struct {
+	reg  *Registry
+	opts ServerOptions
+	sem  chan struct{}
+
+	active   atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewServer builds the service over the registry.
+func NewServer(reg *Registry, opts ServerOptions) *Server {
+	opts.fill()
+	return &Server{reg: reg, opts: opts, sem: make(chan struct{}, opts.MaxConcurrent)}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	mux.HandleFunc("POST /v1/slice", s.handleSlice)
+	mux.HandleFunc("POST /v1/provenance", s.handleProvenance)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "traces": s.reg.Len()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Traces:        s.reg.Len(),
+		ActiveQueries: s.active.Load(),
+		QueriesServed: s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		MaxConcurrent: s.opts.MaxConcurrent,
+	})
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: s.reg.List()})
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
+	added, err := s.reg.Refresh()
+	// The hook runs even when the scan also hit an error: traces from
+	// healthy roots registered for good (Refresh never re-reports
+	// them), so skipping the hook here would lose their attachment
+	// forever.
+	if len(added) > 0 && s.opts.OnRefresh != nil {
+		s.opts.OnRefresh(added)
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "refresh: %v", err)
+		return
+	}
+	if added == nil {
+		added = []string{}
+	}
+	writeJSON(w, http.StatusOK, RefreshResponse{Added: added, Traces: s.reg.Len()})
+}
+
+// acquire admits one query within the concurrency limit, waiting no
+// longer than the context allows.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		s.rejected.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// deadline resolves a request's deadline against the server bounds.
+func (s *Server) deadline(requestedMillis int64) time.Duration {
+	d := s.opts.DefaultDeadline
+	if requestedMillis > 0 {
+		d = time.Duration(requestedMillis) * time.Millisecond
+	}
+	if d > s.opts.MaxDeadline {
+		d = s.opts.MaxDeadline
+	}
+	return d
+}
+
+// resolveCriteria turns wire criteria into slicing criteria against
+// the trace: N == 0 selects the thread's newest retained instance,
+// and an omitted PC is looked up from the stored record.
+func resolveCriteria(t *Trace, src ddg.Source, wire []Criterion) ([]slicing.Criterion, error) {
+	out := make([]slicing.Criterion, 0, len(wire))
+	for i, c := range wire {
+		n := c.N
+		if n == 0 {
+			_, hi := t.Window(c.TID)
+			if hi == 0 {
+				return nil, fmt.Errorf("criterion %d: thread %d has no recorded instances", i, c.TID)
+			}
+			n = hi
+		}
+		id := ddg.MakeID(c.TID, n)
+		pc := int32(-1)
+		if c.PC != nil {
+			pc = *c.PC
+		} else if got, ok := src.NodePC(id); ok {
+			pc = got
+		}
+		out = append(out, slicing.Criterion{ID: id, PC: pc})
+	}
+	return out, nil
+}
+
+// runSlice executes a validated slice request. The error string, if
+// any, is client-safe; status picks the HTTP code.
+func (s *Server) runSlice(ctx context.Context, req *SliceRequest) (*SliceResponse, int, error) {
+	t, ok := s.reg.Get(req.Trace)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown trace %q", req.Trace)
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.deadline(req.DeadlineMillis))
+	defer cancel()
+	if !s.acquire(ctx) {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("query limit reached (%d concurrent)", s.opts.MaxConcurrent)
+	}
+	defer s.release()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	var budget *store.Budget
+	if n := req.BudgetChunkLoads; n > 0 {
+		budget = store.NewBudget(int(n))
+	} else if s.opts.BudgetChunkLoads > 0 {
+		budget = store.NewBudget(int(s.opts.BudgetChunkLoads))
+	}
+	src := t.Source(budget, req.Raw)
+	crits, err := resolveCriteria(t, src, req.Criteria)
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	workers := s.opts.Workers
+	if req.Workers > 0 {
+		workers = req.Workers
+	}
+	sopts := slicing.Options{
+		FollowControl: req.FollowControl,
+		FollowAnti:    req.FollowAnti,
+		MaxNodes:      req.MaxNodes,
+		Done:          ctx.Done(),
+	}
+
+	start := time.Now()
+	var sl *slicing.Slice
+	if req.Direction == DirBackward {
+		sl = slicing.ParallelBackward(src, t.Program(), crits, sopts, workers)
+	} else {
+		ids := make([]ddg.ID, len(crits))
+		for i, c := range crits {
+			ids[i] = c.ID
+		}
+		sl = slicing.ParallelForward(src, t.Program(), ids, sopts, workers)
+	}
+	wall := time.Since(start)
+	s.served.Add(1)
+
+	resp := &SliceResponse{
+		Trace:             req.Trace,
+		Direction:         req.Direction,
+		PCs:               sortedPCs(sl.PCs),
+		Lines:             sl.Lines,
+		Nodes:             sl.Nodes,
+		Edges:             sl.Edges,
+		TruncatedAtWindow: sl.TruncatedAtWindow,
+		BudgetExhausted:   budget.Exhausted(),
+		Interrupted:       sl.Interrupted,
+		ChunkLoads:        budget.ChunkLoads(),
+		WallMillis:        float64(wall) / float64(time.Millisecond),
+	}
+	if len(sl.ShardBusy) > 0 {
+		resp.ShardBusyMillis = make(map[string]float64, len(sl.ShardBusy))
+		for tid, busy := range sl.ShardBusy {
+			resp.ShardBusyMillis[strconv.Itoa(tid)] = float64(busy) / float64(time.Millisecond)
+		}
+	}
+	return resp, http.StatusOK, nil
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeSliceRequest(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, status, err := s.runSlice(r.Context(), req)
+	if err != nil {
+		writeErr(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeProvenanceRequest(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t, ok := s.reg.Get(req.Trace)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown trace %q", req.Trace)
+		return
+	}
+	prog := t.Program()
+	if prog == nil {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"provenance requires a program attached to trace %q", req.Trace)
+		return
+	}
+	// Provenance is the backward data-only slice (no control, no
+	// anti edges): exactly the statements the value flowed out of.
+	resp, status, err := s.runSlice(r.Context(), req.slice())
+	if err != nil {
+		writeErr(w, status, "%v", err)
+		return
+	}
+	prov := &ProvenanceResponse{InputPCs: []int32{}, Slice: *resp}
+	lineSeen := make(map[int]bool)
+	for _, pc := range resp.PCs {
+		if int(pc) < len(prog.Instrs) && prog.Instrs[pc].Op == isa.IN {
+			prov.InputPCs = append(prov.InputPCs, pc)
+			if line := prog.LineOf(int(pc)); line >= 0 && !lineSeen[line] {
+				lineSeen[line] = true
+				prov.InputLines = append(prov.InputLines, line)
+			}
+		}
+	}
+	sort.Ints(prov.InputLines)
+	writeJSON(w, http.StatusOK, prov)
+}
+
+// sortedPCs flattens a PC set for the wire.
+func sortedPCs(pcs map[int32]bool) []int32 {
+	out := make([]int32, 0, len(pcs))
+	for pc := range pcs {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,257 @@
+package slicing
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/isa"
+)
+
+// ParallelForward computes the same forward dynamic slice as Forward
+// with both of its phases sharded per thread:
+//
+//  1. the reverse-adjacency build — Forward's dominant cost, one scan
+//     of every retained window — runs one scanner per trace thread,
+//     each bucketing the edges it finds by the def's owning thread;
+//  2. the buckets merge into per-thread reverse maps (one merger per
+//     def thread, no shared map);
+//  3. the closure traversal runs one worker per thread shard in the
+//     ParallelBackward style: a shard owns exactly the reverse edges
+//     of its own thread's defs, same-thread continuations stay on a
+//     local stack, and only cross-thread flow crosses workers.
+//
+// g (including its NodePC) must be safe for concurrent reads —
+// store.Reader, ddg.Full, and ddg.Sharded are; a lone ddg.Compact is
+// NOT. workers <= 1 falls back to Forward; otherwise the shard count
+// follows the trace's threads (the Go scheduler multiplexes).
+//
+// Results are identical to Forward: same PCs, Lines, Nodes, and
+// Edges (the closure is order-independent). Options.MaxNodes is
+// enforced cooperatively, so a bounded parallel traversal may visit a
+// few nodes past the bound (MaxNodes = 0 matches exactly). The
+// caveat about sources with elided records (under-approximation
+// through fully elided instances) carries over from Forward
+// unchanged.
+func ParallelForward(g ddg.Source, prog *isa.Program, start []ddg.ID, opts Options, workers int) *Slice {
+	if workers <= 1 {
+		return Forward(g, prog, start, opts)
+	}
+	tids := g.Threads()
+	var interrupted atomic.Bool
+
+	// Phase 1: per-thread window scans, each filling private buckets
+	// of reverse edges keyed by the def's thread.
+	buckets := make([]map[int][]ddg.Dep, len(tids))
+	var wg sync.WaitGroup
+	for i, tid := range tids {
+		i, tid := i, tid
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make(map[int][]ddg.Dep)
+			lo, hi := g.Window(tid)
+			for n := lo; n <= hi && lo != 0; n++ {
+				if (n-lo)&donePollMask == 0 && opts.doneFired() {
+					interrupted.Store(true)
+					break
+				}
+				g.DepsOf(ddg.MakeID(tid, n), func(d ddg.Dep) {
+					switch d.Kind {
+					case ddg.Control:
+						if !opts.FollowControl {
+							return
+						}
+					case ddg.WAR, ddg.WAW:
+						if !opts.FollowAnti {
+							return
+						}
+					}
+					out[d.Def.TID()] = append(out[d.Def.TID()], d)
+				})
+			}
+			buckets[i] = out
+		}()
+	}
+	wg.Wait()
+
+	// Phase 2: one shard per thread that can appear in the traversal
+	// (scanned threads, def threads, start threads); each shard's
+	// reverse map merges its buckets in parallel with the others.
+	shards := make(map[int]*fwShard)
+	shardFor := func(tid int) {
+		if _, ok := shards[tid]; !ok {
+			shards[tid] = newFWShard(tid)
+		}
+	}
+	for _, tid := range tids {
+		shardFor(tid)
+	}
+	for _, b := range buckets {
+		for tid := range b {
+			shardFor(tid)
+		}
+	}
+	for _, id := range start {
+		shardFor(id.TID())
+	}
+	all := make([]*fwShard, 0, len(shards))
+	for _, s := range shards {
+		all = append(all, s)
+	}
+	for _, s := range all {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, b := range buckets {
+				for _, d := range b[s.tid] {
+					s.rev[d.Def] = append(s.rev[d.Def], d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var (
+		pending int64 // queued-but-unfinished items, atomic
+		nodes   int64 // processed nodes, atomic (MaxNodes)
+		done    atomic.Bool
+	)
+	finish := func() {
+		if done.CompareAndSwap(false, true) {
+			for _, s := range all {
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			}
+		}
+	}
+	admit := func(s *fwShard, id ddg.ID) bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.visited[id] {
+			return false
+		}
+		s.visited[id] = true
+		atomic.AddInt64(&pending, 1)
+		return true
+	}
+	enqueue := func(id ddg.ID) {
+		s := shards[id.TID()]
+		if !admit(s, id) {
+			return
+		}
+		s.mu.Lock()
+		s.queue = append(s.queue, id)
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+	for _, id := range start {
+		enqueue(id)
+	}
+	if atomic.LoadInt64(&pending) == 0 {
+		return fwMerge(all, prog, interrupted.Load())
+	}
+
+	// Phase 3: the sharded traversal.
+	for _, s := range all {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fwWorker(s, g, opts, admit, enqueue, &pending, &nodes, &done, finish)
+		}()
+	}
+	stop := watchDone(opts.Done, &interrupted, finish)
+	wg.Wait()
+	stop()
+	return fwMerge(all, prog, interrupted.Load())
+}
+
+// fwWorker drains one shard of the forward traversal via drainShard:
+// same-shard continuations stay on a local stack; only cross-thread
+// flow goes through the owning shard's locked queue.
+func fwWorker(s *fwShard, g ddg.Source, opts Options,
+	admit func(*fwShard, ddg.ID) bool, enqueue func(ddg.ID),
+	pending, nodes *int64, done *atomic.Bool, finish func()) {
+
+	var local []ddg.ID
+	process := func(id ddg.ID) bool {
+		s.nodes++
+		if pc, ok := g.NodePC(id); ok {
+			s.pcs[pc] = true
+		}
+		for _, d := range s.rev[id] {
+			s.edges++
+			s.pcs[d.UsePC] = true
+			if d.Use.TID() == s.tid {
+				if admit(s, d.Use) {
+					local = append(local, d.Use)
+				}
+			} else {
+				enqueue(d.Use)
+			}
+		}
+		if opts.MaxNodes > 0 && atomic.AddInt64(nodes, 1) >= int64(opts.MaxNodes) {
+			finish()
+		}
+		if atomic.AddInt64(pending, -1) == 0 {
+			finish()
+		}
+		return !done.Load()
+	}
+	drainShard(&s.mu, s.cond, &s.queue, done, &s.busy, &local, process)
+}
+
+// fwShard is one thread's reverse edges, frontier, and tallies.
+// queue and visited are guarded by mu (other shards' workers push
+// here); rev is immutable once traversal starts; nodes, edges, pcs,
+// and busy belong to the owning worker alone.
+type fwShard struct {
+	tid     int
+	rev     map[ddg.ID][]ddg.Dep
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []ddg.ID
+	visited map[ddg.ID]bool
+
+	nodes int
+	edges int
+	pcs   map[int32]bool
+	busy  time.Duration
+}
+
+func newFWShard(tid int) *fwShard {
+	s := &fwShard{
+		tid:     tid,
+		rev:     make(map[ddg.ID][]ddg.Dep),
+		visited: make(map[ddg.ID]bool),
+		pcs:     make(map[int32]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// fwMerge folds the shards into a Slice (single goroutine, after all
+// workers have joined).
+func fwMerge(all []*fwShard, prog *isa.Program, interrupted bool) *Slice {
+	res := &Slice{
+		PCs:         make(map[int32]bool),
+		ShardBusy:   make(map[int]time.Duration),
+		Interrupted: interrupted,
+	}
+	for _, s := range all {
+		res.Nodes += s.nodes
+		res.Edges += s.edges
+		for pc := range s.pcs {
+			res.PCs[pc] = true
+		}
+		if s.busy > 0 {
+			res.ShardBusy[s.tid] = s.busy
+		}
+	}
+	res.Lines = pcsToLines(prog, res.PCs)
+	return res
+}

@@ -1,0 +1,155 @@
+package slicing
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scaldift/internal/ddg"
+	"scaldift/internal/prog"
+)
+
+// oldestWithDeps returns the thread's oldest instance that has at
+// least one dependence — a forward-slice start whose closure is
+// non-trivial.
+func oldestWithDeps(g *ddg.Full, tid int) ddg.ID {
+	lo, hi := g.Window(tid)
+	for n := lo; n <= hi && lo != 0; n++ {
+		id := ddg.MakeID(tid, n)
+		if len(ddg.CountDeps(g, id)) > 0 {
+			return id
+		}
+	}
+	return 0
+}
+
+// TestParallelForwardMatchesSequential holds ParallelForward to
+// Forward's exact results (Lines, PCs, Nodes, Edges) on every
+// workload, across worker counts, from each thread's oldest recorded
+// instance and from a multi-start fan-out.
+func TestParallelForwardMatchesSequential(t *testing.T) {
+	for _, w := range prog.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			g := buildWorkloadGraph(t, w, 2)
+			opts := Options{FollowControl: true}
+			var starts []ddg.ID
+			for _, tid := range g.Threads() {
+				if id := oldestWithDeps(g, tid); id != 0 {
+					starts = append(starts, id)
+				}
+			}
+			if len(starts) == 0 {
+				t.Skip("no recorded instances")
+			}
+			cases := [][]ddg.ID{starts}
+			for _, id := range starts {
+				cases = append(cases, []ddg.ID{id})
+			}
+			for ci, start := range cases {
+				seq := Forward(g, w.Prog, start, opts)
+				for _, workers := range []int{2, 4} {
+					par := ParallelForward(g, w.Prog, start, opts, workers)
+					if fmt.Sprint(seq.Lines) != fmt.Sprint(par.Lines) {
+						t.Fatalf("case %d workers %d: lines diverged\nseq %v\npar %v",
+							ci, workers, seq.Lines, par.Lines)
+					}
+					if seq.Nodes != par.Nodes || seq.Edges != par.Edges {
+						t.Fatalf("case %d workers %d: traversal diverged: %d/%d nodes, %d/%d edges",
+							ci, workers, seq.Nodes, par.Nodes, seq.Edges, par.Edges)
+					}
+					if fmt.Sprint(mapKeys(seq.PCs)) != fmt.Sprint(mapKeys(par.PCs)) {
+						t.Fatalf("case %d workers %d: PC sets diverged", ci, workers)
+					}
+				}
+			}
+			// workers <= 1 must take the sequential path.
+			one := ParallelForward(g, w.Prog, starts, opts, 1)
+			seq := Forward(g, w.Prog, starts, opts)
+			if fmt.Sprint(one.Lines) != fmt.Sprint(seq.Lines) {
+				t.Fatal("workers=1 fallback diverged")
+			}
+		})
+	}
+}
+
+// mapKeys returns the sorted keys of a PC set for comparison.
+func mapKeys(m map[int32]bool) []int {
+	out := make([]int, 0, len(m))
+	for pc := range m {
+		out = append(out, int(pc))
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestSliceCancellation: a pre-fired Done channel interrupts all four
+// traversals, returning a partial (possibly empty) slice with
+// Interrupted set rather than hanging or completing.
+func TestSliceCancellation(t *testing.T) {
+	w := prog.PSum(4, 800, 7)
+	g := buildWorkloadGraph(t, w, 5)
+	done := make(chan struct{})
+	close(done)
+	opts := Options{FollowControl: true, Done: done}
+
+	var crits []Criterion
+	var starts []ddg.ID
+	for _, tid := range g.Threads() {
+		if id := newestWithDeps(g, tid); id != 0 {
+			pc, ok := g.NodePC(id)
+			if !ok {
+				pc = -1
+			}
+			crits = append(crits, Criterion{ID: id, PC: pc})
+		}
+		if id := oldestWithDeps(g, tid); id != 0 {
+			starts = append(starts, id)
+		}
+	}
+	full := Backward(g, w.Prog, crits, Options{FollowControl: true})
+
+	if full.Nodes < 600 {
+		t.Fatalf("closure too small for a meaningful cancellation test: %d nodes", full.Nodes)
+	}
+
+	type run struct {
+		name string
+		// strict runs interrupt deterministically (sequential polls);
+		// the parallel slicers race completion against the watcher, so
+		// only termination is asserted for them.
+		strict bool
+		f      func() *Slice
+	}
+	for _, r := range []run{
+		{"backward", true, func() *Slice { return Backward(g, w.Prog, crits, opts) }},
+		{"parallel-backward", false, func() *Slice { return ParallelBackward(g, w.Prog, crits, opts, 4) }},
+		{"forward", true, func() *Slice { return Forward(g, w.Prog, starts, opts) }},
+		{"parallel-forward", false, func() *Slice { return ParallelForward(g, w.Prog, starts, opts, 4) }},
+	} {
+		start := time.Now()
+		s := r.f()
+		if r.strict {
+			if !s.Interrupted {
+				t.Errorf("%s: pre-cancelled traversal not marked Interrupted", r.name)
+			}
+			if s.Nodes >= full.Nodes {
+				t.Errorf("%s: cancelled traversal visited the full closure (%d nodes)", r.name, s.Nodes)
+			}
+		}
+		if el := time.Since(start); el > 30*time.Second {
+			t.Errorf("%s: cancellation took %v", r.name, el)
+		}
+	}
+
+	// A Done channel that never fires leaves results untouched.
+	quiet := make(chan struct{})
+	q := Backward(g, w.Prog, crits, Options{FollowControl: true, Done: quiet})
+	if q.Interrupted || q.Nodes != full.Nodes {
+		t.Fatal("idle Done channel perturbed the traversal")
+	}
+}

@@ -149,8 +149,75 @@ func ParallelBackward(src ddg.Source, prog *isa.Program, crits []Criterion, opts
 			pbWorker(s, src, hinted, opts, admit, enqueue, &pending, &nodes, &done, finish)
 		}()
 	}
+	var interrupted atomic.Bool
+	stop := watchDone(opts.Done, &interrupted, finish)
 	wg.Wait()
-	return pbMerge(all, prog)
+	stop()
+	res := pbMerge(all, prog)
+	res.Interrupted = interrupted.Load()
+	return res
+}
+
+// watchDone links Options.Done to a traversal's finish() broadcast
+// (the same wakeup MaxNodes uses, so blocked workers exit), latching
+// interrupted when Done — not completion — triggered it. The
+// returned stop func must be called after the workers join.
+func watchDone(done <-chan struct{}, interrupted *atomic.Bool, finish func()) (stop func()) {
+	if done == nil {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			interrupted.Store(true)
+			finish()
+		case <-stopCh:
+		}
+	}()
+	return func() { close(stopCh) }
+}
+
+// drainShard is the worker loop both parallel slicers share: wait on
+// the shard's cond for cross-shard items (or the finish broadcast),
+// swap the queued batch out under the lock, and run each item through
+// process, draining the local same-shard continuation stack (which
+// process's expansion appends to) depth-first between items. busy
+// accumulates processing time, waits excluded; process returns false
+// once the traversal is finished.
+func drainShard[T any](mu *sync.Mutex, cond *sync.Cond, queue *[]T, done *atomic.Bool,
+	busy *time.Duration, local *[]T, process func(T) bool) {
+
+	var batch []T
+	for {
+		mu.Lock()
+		for len(*queue) == 0 && !done.Load() {
+			cond.Wait()
+		}
+		if len(*queue) == 0 {
+			mu.Unlock()
+			return
+		}
+		batch, *queue = *queue, batch[:0]
+		mu.Unlock()
+
+		start := time.Now()
+		ok := true
+		for _, it := range batch {
+			if ok = process(it); !ok {
+				break
+			}
+			for ok && len(*local) > 0 {
+				next := (*local)[len(*local)-1]
+				*local = (*local)[:len(*local)-1]
+				ok = process(next)
+			}
+		}
+		*busy += time.Since(start)
+		if !ok {
+			return
+		}
+	}
 }
 
 // pbItem is one frontier entry.
@@ -159,18 +226,18 @@ type pbItem struct {
 	pc int32
 }
 
-// pbWorker drains one shard. Same-shard continuations stay on a
-// local stack (no queue round-trip, no wakeups — a thread's own
-// dependence chain walks at sequential speed); only cross-shard edges
-// go through the owning shard's locked queue. The orphan shard
+// pbWorker drains one shard via drainShard. Same-shard continuations
+// stay on a local stack (no queue round-trip, no wakeups — a thread's
+// own dependence chain walks at sequential speed); only cross-shard
+// edges go through the owning shard's locked queue. The orphan shard
 // (tid -1) owns a mix of unrecorded tids, so nothing is "same-shard"
-// for it. Busy time (waits excluded) accumulates in s.busy.
+// for it.
 func pbWorker(s *pbShard,
 	src ddg.Source, hinted HintedSource, opts Options,
 	admit func(*pbShard, ddg.ID, int32) bool, enqueue func(ddg.ID, int32),
 	pending, nodes *int64, done *atomic.Bool, finish func()) {
 
-	var local, batch []pbItem
+	var local []pbItem
 	yield := func(d ddg.Dep) {
 		switch d.Kind {
 		case ddg.Control:
@@ -210,38 +277,7 @@ func pbWorker(s *pbShard,
 		}
 		return !done.Load()
 	}
-
-	for {
-		s.mu.Lock()
-		for len(s.queue) == 0 && !done.Load() {
-			s.cond.Wait()
-		}
-		if len(s.queue) == 0 {
-			s.mu.Unlock()
-			return
-		}
-		batch, s.queue = s.queue, batch[:0]
-		s.mu.Unlock()
-
-		start := time.Now()
-		ok := true
-		for _, it := range batch {
-			if ok = process(it); !ok {
-				break
-			}
-			// Drain same-shard continuations depth-first before the
-			// next cross-shard item.
-			for ok && len(local) > 0 {
-				next := local[len(local)-1]
-				local = local[:len(local)-1]
-				ok = process(next)
-			}
-		}
-		s.busy += time.Since(start)
-		if !ok {
-			return
-		}
-	}
+	drainShard(&s.mu, s.cond, &s.queue, done, &s.busy, &local, process)
 }
 
 // pbShard is one thread's frontier, visited set, and result tallies.

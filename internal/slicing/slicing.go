@@ -40,7 +40,32 @@ type Options struct {
 	FollowAnti bool
 	// MaxNodes bounds the traversal (0 = unbounded).
 	MaxNodes int
+	// Done, when non-nil, cancels the traversal cooperatively once it
+	// becomes readable (a context's Done channel: per-query deadlines
+	// in the trace query service). A cancelled traversal returns the
+	// valid partial slice computed so far with Interrupted set; like
+	// MaxNodes, the cut point is approximate under the parallel
+	// slicers.
+	Done <-chan struct{}
 }
+
+// doneFired reports whether o.Done is readable. Checked every few
+// hundred nodes, not per edge: a select per edge would tax the hot
+// traversal loops.
+func (o *Options) doneFired() bool {
+	if o.Done == nil {
+		return false
+	}
+	select {
+	case <-o.Done:
+		return true
+	default:
+		return false
+	}
+}
+
+// donePollMask throttles doneFired checks to every 256th node.
+const donePollMask = 0xff
 
 // Slice is the result: the statement-level slice plus traversal
 // metadata.
@@ -57,8 +82,12 @@ type Slice struct {
 	// evicted from a bounded buffer: the fault may predate the
 	// retained execution window (§2.1's window-length concern).
 	TruncatedAtWindow bool
-	// ShardBusy, populated only by ParallelBackward, maps thread id
-	// (-1 for the orphan shard) to that shard worker's processing
+	// Interrupted reports that Options.Done fired and the traversal
+	// stopped early: the slice is a valid under-approximation, like a
+	// window truncation.
+	Interrupted bool
+	// ShardBusy, populated only by the parallel slicers, maps thread
+	// id (-1 for the orphan shard) to that shard worker's processing
 	// time, waits excluded. The max entry is the traversal's critical
 	// path on fully parallel hardware; the sum approximates one
 	// core's sequential cost.
@@ -115,6 +144,10 @@ func Backward(src ddg.Source, prog *isa.Program, crits []Criterion, opts Options
 		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
 			break
 		}
+		if res.Nodes&donePollMask == 0 && opts.doneFired() {
+			res.Interrupted = true
+			break
+		}
 		yield := func(d ddg.Dep) {
 			switch d.Kind {
 			case ddg.Control:
@@ -140,8 +173,13 @@ func Backward(src ddg.Source, prog *isa.Program, crits []Criterion, opts Options
 	return res
 }
 
-// pcsToLines maps a PC set to a sorted, deduplicated line set.
+// pcsToLines maps a PC set to a sorted, deduplicated line set. A nil
+// program yields nil: the query service serves traces it has no
+// program for as PC sets only.
 func pcsToLines(prog *isa.Program, pcs map[int32]bool) []int {
+	if prog == nil {
+		return nil
+	}
 	seen := make(map[int]bool, len(pcs))
 	for pc := range pcs {
 		if line := prog.LineOf(int(pc)); line >= 0 {
@@ -172,11 +210,17 @@ func pcsToLines(prog *isa.Program, pcs map[int32]bool) []int {
 // offline version exists for fault-location experiments and
 // cross-checks.
 func Forward(g ddg.Source, prog *isa.Program, start []ddg.ID, opts Options) *Slice {
+	res := &Slice{PCs: make(map[int32]bool)}
 	// Build reverse adjacency.
 	rev := make(map[ddg.ID][]ddg.Dep)
 	for _, tid := range g.Threads() {
 		lo, hi := g.Window(tid)
 		for n := lo; n <= hi && lo != 0; n++ {
+			if (n-lo)&donePollMask == 0 && opts.doneFired() {
+				res.Interrupted = true
+				res.Lines = pcsToLines(prog, res.PCs)
+				return res
+			}
 			id := ddg.MakeID(tid, n)
 			g.DepsOf(id, func(d ddg.Dep) {
 				switch d.Kind {
@@ -193,7 +237,6 @@ func Forward(g ddg.Source, prog *isa.Program, start []ddg.ID, opts Options) *Sli
 			})
 		}
 	}
-	res := &Slice{PCs: make(map[int32]bool)}
 	visited := make(map[ddg.ID]bool)
 	var work []ddg.ID
 	for _, id := range start {
@@ -210,6 +253,10 @@ func Forward(g ddg.Source, prog *isa.Program, start []ddg.ID, opts Options) *Sli
 			res.PCs[pc] = true
 		}
 		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			break
+		}
+		if res.Nodes&donePollMask == 0 && opts.doneFired() {
+			res.Interrupted = true
 			break
 		}
 		for _, d := range rev[id] {

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -59,6 +60,28 @@ func writeManifest(dir string, m *manifest) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), filepath.Join(dir, manifestName))
+}
+
+// IsClosed reports whether dir holds a trace store whose writer
+// closed cleanly (final manifest written). A missing or foreign
+// manifest returns ok=false with a nil error — "not a closed store
+// here" is an answer, not a failure — so pollers can cheaply skip
+// directories still being written.
+func IsClosed(dir string) (closed bool, err error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		// Corrupt or foreign manifests are "not a closed store", but
+		// surface genuine I/O problems (permissions etc).
+		var perr *os.PathError
+		if errors.As(err, &perr) {
+			return false, err
+		}
+		return false, nil
+	}
+	return m.Closed, nil
 }
 
 // readManifest loads and validates dir's manifest.

@@ -325,16 +325,15 @@ func readAll(f *os.File) ([]byte, error) {
 	return io.ReadAll(f)
 }
 
-// loadChunk returns the decoded map of the thread's idx-th chunk
-// (ts.mu held), through the bounded cache. The segment file is
-// opened and closed per load: the cache makes reloads rare, and the
-// reader stays fd-free between calls.
-func (r *Reader) loadChunk(ts *threadState, idx int) (map[uint64][]ddg.Dep, error) {
-	if m, ok := ts.cache[idx]; ok {
-		return m, nil
-	}
-	tc := ts.chunks[idx]
-	f, err := os.Open(ts.segs[tc.seg].path)
+// readChunk opens, reads, verifies, and decodes one chunk. It takes
+// everything it needs by value so callers can run it WITHOUT ts.mu:
+// chunk loads are the expensive read-side unit (file I/O + CRC +
+// decode), and holding the thread lock across them would serialize
+// every concurrent query touching the thread behind the disk. The
+// segment file is opened and closed per load: the cache makes reloads
+// rare, and the reader stays fd-free between calls.
+func readChunk(path string, tid int, tc tChunk) (map[uint64][]ddg.Dep, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -349,18 +348,16 @@ func (r *Reader) loadChunk(ts *threadState, idx int) (map[uint64][]ddg.Dep, erro
 	crc := binary.LittleEndian.Uint32(payload[tc.plen:])
 	payload = payload[:tc.plen]
 	if crc32.ChecksumIEEE(payload) != crc {
-		return nil, fmt.Errorf("%w: CRC mismatch at %s+%d", errDamage, ts.segs[tc.seg].path, tc.off)
+		return nil, fmt.Errorf("%w: CRC mismatch at %s+%d", errDamage, path, tc.off)
 	}
 	_, baseN, lastN, count, buf, err := parseChunkPayload(payload)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", errDamage, err)
 	}
 	if baseN != tc.baseN || lastN != tc.lastN {
-		return nil, fmt.Errorf("%w: chunk header disagrees with index at %s+%d", errDamage, ts.segs[tc.seg].path, tc.off)
+		return nil, fmt.Errorf("%w: chunk header disagrees with index at %s+%d", errDamage, path, tc.off)
 	}
-	m := ddg.RawChunk{TID: ts.tid, BaseN: baseN, Count: count, Buf: buf}.Decode()
-	ts.cachePut(idx, m, r.opts.CacheChunks)
-	return m, nil
+	return ddg.RawChunk{TID: tid, BaseN: baseN, Count: count, Buf: buf}.Decode(), nil
 }
 
 // cachePut inserts a decoded chunk (ts.mu held), evicting FIFO past
@@ -418,26 +415,47 @@ func (r *Reader) Window(tid int) (uint64, uint64) {
 
 // DepsOf implements ddg.Source.
 func (r *Reader) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
-	deps := r.depsAt(id)
+	deps := r.depsAt(id, nil)
 	for _, d := range deps {
 		yield(d)
 	}
 }
 
-// depsAt returns the stored deps of id (possibly nil).
-func (r *Reader) depsAt(id ddg.ID) []ddg.Dep {
+// depsAt returns the stored deps of id (possibly nil). Chunk loads
+// are charged to budget (nil: unlimited) and run with ts.mu RELEASED:
+// the lock covers only index/cache state, so concurrent traversals of
+// one thread overlap their I/O instead of convoying behind it. Two
+// goroutines missing on the same chunk may both decode it; the second
+// result is dropped in favor of the cached first — duplicate work,
+// never inconsistent state.
+func (r *Reader) depsAt(id ddg.ID, budget *Budget) []ddg.Dep {
 	ts, ok := r.threads[id.TID()]
 	if !ok {
 		return nil
 	}
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
 	r.ensureLoaded(ts)
 	idx := ts.findChunk(id.N())
 	if idx < 0 {
+		ts.mu.Unlock()
 		return nil
 	}
-	m, err := r.loadChunk(ts, idx)
+	if m, ok := ts.cache[idx]; ok {
+		ts.mu.Unlock()
+		return m[id.N()]
+	}
+	// Cache miss: snapshot what the load needs (segs and chunks are
+	// immutable once loaded) and decode outside the lock.
+	tc := ts.chunks[idx]
+	path := ts.segs[tc.seg].path
+	ts.mu.Unlock()
+
+	if !budget.charge() {
+		// Out of budget: behave like a dead end. The shared cache is
+		// left alone so other queries are unaffected.
+		return nil
+	}
+	m, err := readChunk(path, ts.tid, tc)
 	if err != nil {
 		// A chunk that indexed cleanly but fails its payload CRC (or
 		// vanished) is damage past the index's guarantees: serve what
@@ -451,15 +469,21 @@ func (r *Reader) depsAt(id ddg.ID) []ddg.Dep {
 		// Negative-cache the chunk: without this, a slice walking the
 		// hundreds of instances a damaged chunk covers would re-open,
 		// re-read, and re-CRC it once per query.
-		ts.cachePut(idx, nil, r.opts.CacheChunks)
-		return nil
+		m = nil
 	}
+	ts.mu.Lock()
+	if prev, ok := ts.cache[idx]; ok {
+		m = prev // another loader won the race: serve its copy
+	} else {
+		ts.cachePut(idx, m, r.opts.CacheChunks)
+	}
+	ts.mu.Unlock()
 	return m[id.N()]
 }
 
 // NodePC implements ddg.Source (recorded nodes only).
 func (r *Reader) NodePC(id ddg.ID) (int32, bool) {
-	deps := r.depsAt(id)
+	deps := r.depsAt(id, nil)
 	if len(deps) == 0 {
 		return 0, false
 	}
