@@ -1,0 +1,27 @@
+package isa
+
+// Clone returns a deep copy of the program sharing no mutable state
+// with the original, so callers can rewrite instructions, labels, or
+// data without affecting it (the progen shrinker edits candidate
+// copies this way).
+func (p *Program) Clone() *Program {
+	q := &Program{
+		Name:   p.Name,
+		Instrs: append([]Instr(nil), p.Instrs...),
+		Data:   append([]int64(nil), p.Data...),
+		Source: append([]string(nil), p.Source...),
+	}
+	if p.Labels != nil {
+		q.Labels = make(map[string]int, len(p.Labels))
+		for k, v := range p.Labels {
+			q.Labels[k] = v
+		}
+	}
+	if p.Funcs != nil {
+		q.Funcs = make(map[string]FuncRange, len(p.Funcs))
+		for k, v := range p.Funcs {
+			q.Funcs[k] = v
+		}
+	}
+	return q
+}

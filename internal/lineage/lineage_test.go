@@ -128,12 +128,14 @@ func TestClusteredDomainOverApproximates(t *testing.T) {
 	}
 }
 
-// TestValidationWorkloadLineages asserts, for every data-validation
-// workload, that the recorded lineage of each output word exactly
-// matches the workload's reference WantLineage — and that
-// instrumentation did not perturb the run (self-check still passes).
+// TestValidationWorkloadLineages asserts, for every workload that
+// carries reference lineage (the data-validation suite and the
+// hand-written families), that the recorded lineage of each output
+// word exactly matches WantLineage — and that instrumentation did not
+// perturb the run (self-check still passes).
 func TestValidationWorkloadLineages(t *testing.T) {
-	for _, w := range prog.ValidationSuite(1) {
+	ws := append(prog.ValidationSuite(1), prog.FamiliesSuite(1)...)
+	for _, w := range ws {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			m := w.NewMachine()

@@ -44,18 +44,38 @@ func (r *Reader) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
 // DepsOfHinted yields the stored dependences of id plus the O1/O2
 // reconstructions valid for an instance of static instruction pcHint
 // (-1: unknown, reconstruct nothing).
+//
+// A stored same-thread data dependence suppresses reconstruction of
+// patterns with the same def PC: the writer only elides a dependence
+// when the dynamic instance distance matches the pattern, so a stored
+// edge to that def site means this instance deviated (a blocking sync
+// retry skewed the thread sequence) and the pattern names the wrong
+// instance. Replaying it anyway would fabricate an edge whose Def id
+// belongs to a different static instruction — poisoning downstream
+// hint propagation in the slicer and losing real statements. Fully
+// elided instances need no such check: every elided dependence passed
+// the writer's distance test, so their reconstruction is exact.
 func (r *Reader) DepsOfHinted(id ddg.ID, pcHint int32, yield func(ddg.Dep)) {
-	r.src.DepsOf(id, yield)
+	var storedDef map[int32]bool
+	r.src.DepsOf(id, func(d ddg.Dep) {
+		if d.Kind == ddg.Data && d.Def != 0 && d.Def.TID() == id.TID() {
+			if storedDef == nil {
+				storedDef = make(map[int32]bool, 4)
+			}
+			storedDef[d.DefPC] = true
+		}
+		yield(d)
+	})
 	if pcHint < 0 {
 		return
 	}
 	n := id.N()
-	// O1: in-block static dependences always hold when use and def
-	// are id-distance usePC-defPC apart.
+	// O1: in-block static dependences hold at id-distance
+	// usePC-defPC, except for instances whose true edge was stored.
 	if r.t.staticByUse != nil {
 		for _, sd := range r.t.staticByUse[pcHint] {
 			dist := uint64(sd.Use - sd.Def)
-			if dist == 0 || dist >= n {
+			if dist == 0 || dist >= n || storedDef[int32(sd.Def)] {
 				continue
 			}
 			yield(ddg.Dep{
@@ -67,10 +87,10 @@ func (r *Reader) DepsOfHinted(id ddg.ID, pcHint int32, yield func(ddg.Dep)) {
 		}
 	}
 	// O2: learned patterns for this use site. These may slightly
-	// over-approximate (a deviating instance stored its true edge and
-	// also matches the pattern), which only ever grows the slice.
+	// over-approximate (an instance may match a pattern its own
+	// stores never confirmed), which only ever grows the slice.
 	for _, k := range r.t.dictByUse[pcHint] {
-		if k.delta >= n {
+		if k.delta >= n || (k.kind == ddg.Data && storedDef[k.defPC]) {
 			continue
 		}
 		yield(ddg.Dep{

@@ -1,0 +1,289 @@
+package prog
+
+import (
+	"scaldift/internal/isa"
+	"scaldift/internal/vm"
+)
+
+// Hand-written workload families with exact per-output lineage
+// (WantLineage), complementing the fuzzed corpus in internal/progen:
+// a protocol-parser state machine whose hidden state (the session
+// key) joins the lineage of later outputs, a producer/consumer queue
+// whose provenance crosses a thread boundary through shared memory,
+// and a crypto-like mixing kernel whose outputs diffuse every input
+// word. Each computes its expected outputs and lineage in reference
+// Go alongside the assembly.
+
+// Message types for ProtoParser's input stream.
+const (
+	protoEnd    = 0
+	protoData   = 1
+	protoSetKey = 2
+)
+
+// ProtoParser is a protocol-parser state machine: the input is a
+// stream of messages [type, ...], where SETKEY [2, key] replaces the
+// session key, DATA [1, len, payload...] emits (sum payload) XOR key,
+// and END [0] halts. Type and length words steer control only; the
+// lineage of each DATA output is exactly its payload words plus the
+// word that set the key in force (none before the first SETKEY).
+func ProtoParser(nMsgs int, seed uint64) *Workload {
+	p := isa.MustAssemble("protoparser", `
+    movi r10, 0        ; session key (no lineage until SETKEY)
+loop:
+    in r1, 0           ; message type
+    beqz r1, done
+    movi r2, 2
+    bge r1, r2, setkey
+    ; DATA: sum the payload, mask with the key, emit
+    in r3, 0           ; len
+    movi r4, 0         ; acc
+    movi r5, 0         ; i
+pay:
+    bge r5, r3, emit
+    in r6, 0
+    add r4, r4, r6
+    addi r5, r5, 1
+    br pay
+emit:
+    xor r7, r4, r10
+    out r7, 1
+    br loop
+setkey:
+    in r10, 0
+    br loop
+done:
+    halt
+`)
+	r := newRng(seed)
+	var in []int64
+	var want []int64
+	var lin [][]int64
+	var key int64
+	keyWord := int64(-1) // input word index of the key in force
+	for m := 0; m < nMsgs; m++ {
+		// Force the first two shapes so the no-key case and the
+		// state transition are always exercised.
+		kind := protoData
+		if m == 1 || (m > 1 && r.intn(3) == 0) {
+			kind = protoSetKey
+		}
+		if kind == protoSetKey {
+			in = append(in, protoSetKey)
+			keyWord = int64(len(in))
+			key = r.intn(1 << 16)
+			in = append(in, key)
+			continue
+		}
+		n := 1 + r.intn(4)
+		in = append(in, protoData, n)
+		var sum int64
+		var deps []int64
+		if keyWord >= 0 {
+			deps = append(deps, keyWord)
+		}
+		for k := int64(0); k < n; k++ {
+			v := r.intn(1 << 16)
+			deps = append(deps, int64(len(in)))
+			in = append(in, v)
+			sum += v
+		}
+		want = append(want, sum^key)
+		lin = append(lin, deps)
+	}
+	in = append(in, protoEnd)
+	return &Workload{
+		Name:        "protoparser",
+		Prog:        p,
+		Inputs:      map[int][]int64{ChIn: in},
+		Check:       expectOut(want),
+		WantLineage: lin,
+	}
+}
+
+// ProducerConsumer is a two-thread queue: a producer thread reads n
+// values and publishes them through shared slots guarded by a
+// lock-protected publication counter, while the main thread spins,
+// pops each slot in order, and emits the running sum. Output j is
+// data-derived from exactly value words 0..j — the provenance crosses
+// the thread boundary through the stored slots, while the publication
+// counter and n steer control only.
+//
+// Layout: [0]=lock, [1]=published count, [2]=n, [4..4+n)=slots.
+func ProducerConsumer(n int, seed uint64) *Workload {
+	if n < 1 || n > 64 {
+		panic("prog: ProducerConsumer wants 1..64 values")
+	}
+	p := isa.MustAssemble("prodcons", `
+.reserve 96
+    in r1, 0           ; n
+    movi r2, 2
+    store r2, r1, 0
+    spawn r20, r0, producer
+    movi r3, 0         ; i
+    movi r4, 0         ; running sum
+cloop:
+    bge r3, r1, fin
+cspin:
+    movi r5, 1
+    load r6, r5, 0     ; published
+    blt r3, r6, cready
+    yield
+    br cspin
+cready:
+    movi r7, 4
+    add r7, r7, r3
+    load r8, r7, 0     ; slot i
+    add r4, r4, r8
+    out r4, 1
+    addi r3, r3, 1
+    br cloop
+fin:
+    join r20
+    halt
+producer:
+    movi r1, 2
+    load r2, r1, 0     ; n
+    movi r3, 0
+ploop:
+    bge r3, r2, pdone
+    in r4, 0
+    movi r5, 4
+    add r5, r5, r3
+    store r5, r4, 0
+    lock r6, 0
+    movi r7, 1
+    addi r8, r3, 1
+    store r7, r8, 0    ; published = i+1
+    unlock r6, 0
+    addi r3, r3, 1
+    br ploop
+pdone:
+    halt
+`)
+	r := newRng(seed)
+	in := []int64{int64(n)}
+	var want []int64
+	var lin [][]int64
+	var sum int64
+	var deps []int64
+	for j := 0; j < n; j++ {
+		v := r.intn(1 << 12)
+		in = append(in, v)
+		sum += v
+		deps = append(deps, int64(1+j)) // word 0 is the n header
+		want = append(want, sum)
+		lin = append(lin, append([]int64(nil), deps...))
+	}
+	return &Workload{
+		Name:        "prodcons",
+		Prog:        p,
+		Inputs:      map[int][]int64{ChIn: in},
+		Cfg:         vm.Config{Quantum: 8, RandomPreempt: true},
+		Check:       expectOut(want),
+		WantLineage: lin,
+	}
+}
+
+// mixLane applies MixKernel's per-word lane update; kept as the
+// single definition both the assembly mirror and tests rely on.
+func mixLane(s, w int64) int64 { return (s^w)*31 + w }
+
+// MixKernel is a crypto-like mixing kernel: a 4-word key initializes
+// four lanes, each message word is absorbed into a lane round-robin,
+// and the four digest words each fold in the XOR of all lanes. Full
+// diffusion means the lineage of every digest word is all key words
+// plus all message words.
+//
+// Layout: [8..11]=lanes.
+func MixKernel(m int, seed uint64) *Workload {
+	p := isa.MustAssemble("mixkernel", `
+.reserve 12
+    in r1, 0           ; m
+    movi r2, 0
+kloop:
+    movi r9, 4
+    bge r2, r9, absorb
+    in r3, 0
+    addi r4, r2, 8
+    store r4, r3, 0    ; lane i = key i
+    addi r2, r2, 1
+    br kloop
+absorb:
+    movi r10, 0
+aloop:
+    bge r10, r1, digest
+    in r4, 0           ; w
+    andi r5, r10, 3
+    addi r5, r5, 8
+    load r6, r5, 0
+    xor r6, r6, r4
+    muli r6, r6, 31
+    add r6, r6, r4     ; lane = (lane^w)*31 + w
+    store r5, r6, 0
+    addi r10, r10, 1
+    br aloop
+digest:
+    movi r8, 8
+    load r11, r8, 0
+    load r12, r8, 1
+    load r13, r8, 2
+    load r14, r8, 3
+    xor r15, r11, r12
+    xor r15, r15, r13
+    xor r15, r15, r14
+    add r16, r11, r15
+    out r16, 1
+    add r16, r12, r15
+    out r16, 1
+    add r16, r13, r15
+    out r16, 1
+    add r16, r14, r15
+    out r16, 1
+    halt
+`)
+	if m < 4 {
+		panic("prog: MixKernel wants at least 4 message words")
+	}
+	r := newRng(seed)
+	in := []int64{int64(m)}
+	var s [4]int64
+	for i := range s {
+		s[i] = r.intn(1 << 20)
+		in = append(in, s[i])
+	}
+	for j := 0; j < m; j++ {
+		w := r.intn(1 << 20)
+		in = append(in, w)
+		s[j&3] = mixLane(s[j&3], w)
+	}
+	t := s[0] ^ s[1] ^ s[2] ^ s[3]
+	want := []int64{s[0] + t, s[1] + t, s[2] + t, s[3] + t}
+	// Every digest word folds in all lanes: words 1..4+m (word 0 is
+	// the m header).
+	full := make([]int64, 4+m)
+	for i := range full {
+		full[i] = int64(1 + i)
+	}
+	lin := [][]int64{full, full, full, full}
+	return &Workload{
+		Name:        "mixkernel",
+		Prog:        p,
+		Inputs:      map[int][]int64{ChIn: in},
+		Check:       expectOut(want),
+		WantLineage: lin,
+	}
+}
+
+// FamiliesSuite returns the hand-written workload families at a
+// common scale.
+func FamiliesSuite(scale int) []*Workload {
+	if scale < 1 {
+		scale = 1
+	}
+	return []*Workload{
+		ProtoParser(scale*10, 31),
+		ProducerConsumer(min(scale*24, 64), 32),
+		MixKernel(scale*12, 33),
+	}
+}

@@ -61,14 +61,15 @@ func (w *Workload) Run() (*vm.Machine, *vm.Result, error) {
 }
 
 // All returns every registered workload at a small test scale: the
-// SPEC-like kernels, the SPLASH-like parallel kernels, and the
-// data-validation workloads. Tier-1 tests run each one uninstrumented
+// SPEC-like kernels, the SPLASH-like parallel kernels, the
+// data-validation workloads, and the hand-written families. Tier-1 tests run each one uninstrumented
 // and assert its self-check passes.
 func All() []*Workload {
 	var ws []*Workload
 	ws = append(ws, SpecSuite(1)...)
 	ws = append(ws, SplashSuite(4, 1)...)
 	ws = append(ws, ValidationSuite(1)...)
+	ws = append(ws, FamiliesSuite(1)...)
 	return ws
 }
 

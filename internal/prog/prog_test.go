@@ -17,10 +17,11 @@ func TestAllWorkloadsSelfCheck(t *testing.T) {
 }
 
 // TestValidationLineageGroundTruth sanity-checks the WantLineage
-// metadata of the data-validation workloads: one entry per ChOut
-// word, indices within the consumed input range.
+// metadata of every workload that carries it (the data-validation
+// suite and the hand-written families): one entry per ChOut word,
+// indices within the consumed input range.
 func TestValidationLineageGroundTruth(t *testing.T) {
-	for _, w := range ValidationSuite(1) {
+	for _, w := range append(ValidationSuite(1), FamiliesSuite(1)...) {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			if w.WantLineage == nil {

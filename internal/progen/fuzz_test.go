@@ -1,0 +1,19 @@
+package progen
+
+import "testing"
+
+// FuzzProgenDifferential lets the fuzzer drive the generator seed:
+// any seed the corpus never visited is a fresh concurrent program run
+// through every engine configuration and held to the brute-force
+// oracle. A crasher artifact here is a seed whose generated program
+// exposes a real divergence in some engine — shrink it with Shrink
+// and the failing leg's predicate.
+func FuzzProgenDifferential(f *testing.F) {
+	for _, seed := range []uint64{0, 1, 2, 3, 17, 99, 12345, 1 << 40} {
+		f.Add(seed)
+	}
+	cfg := DefaultGenConfig()
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		Scenario(t, seed, cfg)
+	})
+}

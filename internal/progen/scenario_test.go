@@ -1,0 +1,79 @@
+package progen
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// corpusSize returns how many seeds the always-on corpus sweeps.
+// The default meets the subsystem's bar of 500 generated programs per
+// plain `go test ./internal/progen`; -short trims it for the race
+// detector's heavyweight instrumentation, and PROGEN_SOAK overrides
+// it upward for the nightly soak job.
+func corpusSize(tb testing.TB) int {
+	if v := os.Getenv("PROGEN_SOAK"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			tb.Fatalf("bad PROGEN_SOAK value %q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 60
+	}
+	return 500
+}
+
+// TestScenarioCorpus is the subsystem's reason to exist: every seed
+// is one generated concurrent program run through the inline engine
+// (three taint domains), the batched pipeline (three domains),
+// offloaded ONTRAC spilled to a real on-disk store, slicing over the
+// reopened store.Reader, the query service over real HTTP, and an
+// elided O1+O3 recording — each checked against the brute-force
+// oracle down to individual register labels, memory words, output
+// lineage sets, thread windows, and slice PC sets.
+func TestScenarioCorpus(t *testing.T) {
+	cfg := DefaultGenConfig()
+	n := corpusSize(t)
+	for seed := 0; seed < n; seed++ {
+		Scenario(t, uint64(seed), cfg)
+	}
+}
+
+// TestScenarioShapes sweeps a few deliberately skewed generator
+// configurations so degenerate shapes (single-threaded, no sync
+// features, deep loops) stay covered even if the default mix drifts.
+func TestScenarioShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		cfg  GenConfig
+	}{
+		{"single-thread", GenConfig{
+			MaxWorkers: 0, MaxBodyOps: 12, MaxPhases: 1, MaxLoopDepth: 2,
+			MaxTrip: 3, SharedWords: 16, PrivWords: 8,
+			Locks: true, Flags: true, CAS: true, Calls: true,
+		}},
+		{"no-sync", GenConfig{
+			MaxWorkers: 2, MaxBodyOps: 8, MaxPhases: 1, MaxLoopDepth: 1,
+			MaxTrip: 2, SharedWords: 8, PrivWords: 4,
+		}},
+		{"loop-heavy", GenConfig{
+			MaxWorkers: 1, MaxBodyOps: 6, MaxPhases: 2, MaxLoopDepth: 2,
+			MaxTrip: 4, SharedWords: 32, PrivWords: 16,
+			Locks: true, CAS: true,
+		}},
+	}
+	per := 12
+	if testing.Short() {
+		per = 4
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			for seed := 0; seed < per; seed++ {
+				Scenario(t, uint64(seed)+1000, sh.cfg)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package progen
+
+import (
+	"testing"
+
+	"scaldift/internal/isa"
+)
+
+// markerVal is the sentinel an injected "bug" emits; the shrinker
+// must preserve whatever subset of the program still emits it.
+const markerVal = 48879
+
+// injectMarker plants `movi rScr, markerVal; out rScr, ChOut` at the
+// program entry, shifting every branch target, label, and function
+// range past the insertion point.
+func injectMarker(p *isa.Program) *isa.Program {
+	out := p.Clone()
+	pre := []isa.Instr{
+		{Op: isa.MOVI, Rd: rScr, Imm: markerVal},
+		{Op: isa.OUT, Rs1: rScr, Imm: ChOut},
+	}
+	out.Instrs = append(pre, out.Instrs...)
+	for i := range out.Instrs {
+		if out.Instrs[i].Op.HasTarget() && i >= len(pre) {
+			out.Instrs[i].Target += len(pre)
+		}
+	}
+	for name, pc := range out.Labels {
+		out.Labels[name] = pc + len(pre)
+	}
+	for name, fr := range out.Funcs {
+		fr.Start += len(pre)
+		fr.End += len(pre)
+		out.Funcs[name] = fr
+	}
+	return out
+}
+
+// emitsMarker is the reproduction predicate: the oracle run of the
+// candidate still emits the sentinel on the output channel.
+func emitsMarker(g *Generated) Property {
+	return func(p *isa.Program) bool {
+		run := RunOracle(p, g.Inputs, g.Par)
+		for _, v := range run.Outputs[ChOut] {
+			if v == markerVal {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// TestShrinkReducesInjectedBug seeds real generated programs with a
+// marker-emitting "bug" and checks the shrinker strips away the
+// unrelated bulk: the reproducer must come out at no more than 25% of
+// the original instruction count, and every intermediate candidate
+// the shrinker accepts must both validate and still reproduce.
+func TestShrinkReducesInjectedBug(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for _, seed := range []uint64{3, 7, 42, 101, 250} {
+		g := Generate(seed, cfg)
+		buggy := injectMarker(g.Prog)
+		if err := buggy.Validate(); err != nil {
+			t.Fatalf("seed %d: injected program invalid: %v", seed, err)
+		}
+		keep := emitsMarker(g)
+		if !keep(buggy) {
+			t.Fatalf("seed %d: injected program does not reproduce", seed)
+		}
+		accepts := 0
+		min := Shrink(buggy, keep, ShrinkOptions{
+			OnAccept: func(p *isa.Program) {
+				accepts++
+				if err := p.Validate(); err != nil {
+					t.Fatalf("seed %d: accepted candidate invalid: %v", seed, err)
+				}
+				if !keep(p) {
+					t.Fatalf("seed %d: accepted candidate no longer reproduces", seed)
+				}
+			},
+		})
+		if err := min.Validate(); err != nil {
+			t.Fatalf("seed %d: shrunk program invalid: %v", seed, err)
+		}
+		if !keep(min) {
+			t.Fatalf("seed %d: shrunk program no longer reproduces", seed)
+		}
+		if 4*len(min.Instrs) > len(buggy.Instrs) {
+			t.Errorf("seed %d: shrunk to %d of %d instructions, want <= 25%%",
+				seed, len(min.Instrs), len(buggy.Instrs))
+		}
+		if accepts == 0 {
+			t.Errorf("seed %d: shrinker accepted no reductions", seed)
+		}
+	}
+}
+
+// TestShrinkFailingPredicate: when the input never satisfied the
+// predicate, Shrink must hand back an untouched copy rather than
+// "reduce" a non-reproducer.
+func TestShrinkFailingPredicate(t *testing.T) {
+	g := Generate(5, DefaultGenConfig())
+	never := Property(func(*isa.Program) bool { return false })
+	out := Shrink(g.Prog, never, ShrinkOptions{})
+	if len(out.Instrs) != len(g.Prog.Instrs) {
+		t.Fatalf("shrink with failing predicate changed the program: %d vs %d instrs",
+			len(out.Instrs), len(g.Prog.Instrs))
+	}
+}

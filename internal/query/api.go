@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"unicode/utf8"
 )
 
 // Directions for SliceRequest.
@@ -100,6 +101,12 @@ type SliceRequest struct {
 func (r *SliceRequest) Validate() error {
 	if r.Trace == "" {
 		return errors.New("query: trace is required")
+	}
+	if !utf8.ValidString(r.Trace) {
+		// encoding/json silently rewrites invalid UTF-8 to U+FFFD on
+		// Marshal, so such an id would name a different trace after
+		// one wire trip. Reject it before it can be encoded at all.
+		return errors.New("query: trace id must be valid UTF-8")
 	}
 	if r.Direction != DirBackward && r.Direction != DirForward {
 		return fmt.Errorf("query: direction must be %q or %q", DirBackward, DirForward)

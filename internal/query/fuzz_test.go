@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"reflect"
@@ -52,12 +53,9 @@ func FuzzQueryCodec(f *testing.F) {
 			}
 		}
 
-		// Part 2: the in-memory model through the codec. JSON strings
-		// cannot carry invalid UTF-8 (Marshal substitutes U+FFFD), so
-		// such ids are out of the wire model by construction.
-		if !utf8.ValidString(trace) || !utf8.ValidString(direction) {
-			return
-		}
+		// Part 2: the in-memory model through the codec. Invalid
+		// UTF-8 ids are in scope: Validate must reject them before
+		// Marshal can silently rewrite them to U+FFFD.
 		model := &SliceRequest{
 			Trace:            trace,
 			Direction:        direction,
@@ -79,7 +77,12 @@ func FuzzQueryCodec(f *testing.F) {
 		}
 		decoded, err := DecodeSliceRequest(bytes.NewReader(data))
 		if verr := model.Validate(); verr != nil {
-			if err == nil {
+			// An invalid model must never survive the wire verbatim:
+			// the decoder either rejects the bytes, or it accepted a
+			// different (Marshal-sanitized) request. If it hands back
+			// the original model unchanged, the two ends disagree
+			// with Validate and the bound is dead letter.
+			if err == nil && reflect.DeepEqual(model, decoded) {
 				t.Fatalf("decoder accepted a request Validate rejects (%v):\n%s", verr, data)
 			}
 			return
@@ -92,8 +95,11 @@ func FuzzQueryCodec(f *testing.F) {
 		}
 
 		// Response model: numeric fields must survive the wire exactly
-		// (JSON numbers are emitted as digits, not floats).
-		if !math.IsNaN(wall) && !math.IsInf(wall, 0) {
+		// (JSON numbers are emitted as digits, not floats). Responses
+		// echo fields of an already-validated request, so invalid
+		// UTF-8 never reaches them in operation; skip those inputs.
+		if !math.IsNaN(wall) && !math.IsInf(wall, 0) &&
+			utf8.ValidString(trace) && utf8.ValidString(direction) {
 			resp := &SliceResponse{
 				Trace:           trace,
 				Direction:       direction,
@@ -119,4 +125,45 @@ func FuzzQueryCodec(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestInvalidUTF8TraceRejected pins the wire-codec fix: before
+// Validate checked UTF-8, a trace id like "t\xff" passed validation,
+// json.Marshal silently rewrote it to U+FFFD on the way out, and the
+// server answered for a *different* trace id than the caller named.
+// Validate now rejects the id on the client before it can be encoded.
+func TestInvalidUTF8TraceRejected(t *testing.T) {
+	req := &SliceRequest{
+		Trace:     "t\xff",
+		Direction: DirBackward,
+		Criteria:  []Criterion{{TID: 0, N: 1}},
+	}
+	if err := req.Validate(); err == nil {
+		t.Fatal("Validate accepted an invalid-UTF-8 trace id")
+	}
+
+	// The hazard being pinned: one Marshal trip renames the trace, so
+	// without the Validate rejection both ends would happily agree on
+	// the wrong id.
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := DecodeSliceRequest(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode of sanitized bytes: %v", err)
+	}
+	if got.Trace == req.Trace {
+		t.Fatalf("Marshal no longer rewrites invalid UTF-8 (%q): this regression test is stale", got.Trace)
+	}
+
+	// The client refuses to send it at all — no HTTP round trip.
+	c := NewClient("http://127.0.0.1:0", nil)
+	if _, err := c.Slice(context.Background(), req); err == nil {
+		t.Fatal("client sent a request with an invalid-UTF-8 trace id")
+	}
+	preq := &ProvenanceRequest{Trace: "t\xff", Criteria: req.Criteria}
+	if err := preq.Validate(); err == nil {
+		t.Fatal("provenance Validate accepted an invalid-UTF-8 trace id")
+	}
 }
