@@ -1,12 +1,16 @@
 // Command tracequeryd is the trace query service daemon: it watches
-// one or more root directories for closed trace stores
-// (internal/store), holds open readers over the fleet, and serves
-// slice and taint-provenance queries over HTTP (internal/query).
+// one or more root directories for trace stores (internal/store),
+// holds open readers over the fleet, and serves slice and
+// taint-provenance queries over HTTP (internal/query).
 //
 //	tracequeryd -addr :8733 -root /var/traces -refresh 10s
 //
 // Newly closed trace directories under the roots are picked up by the
 // periodic refresh (or POST /v1/refresh) without a restart. With
+// -live (the default), directories still being recorded register too:
+// the daemon tails them on the faster -live-refresh ticker, slices
+// answer against the advancing frontier with live: true, and the
+// trace flips to served-complete the moment its writer closes. With
 // -attach-workloads, traces whose directory name matches a built-in
 // workload ("<name>" or "<name>-...") get that workload's program
 // attached, enabling statement-level lines, O1 reconstruction, and
@@ -24,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -41,8 +46,10 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func main() {
 	var roots multiFlag
 	addr := flag.String("addr", ":8733", "listen address")
-	flag.Var(&roots, "root", "trace root directory (repeatable); each root and its immediate subdirectories are scanned for closed stores")
+	flag.Var(&roots, "root", "trace root directory (repeatable); each root and its immediate subdirectories are scanned for stores")
 	refresh := flag.Duration("refresh", 10*time.Second, "registry refresh interval (0 disables the timer; POST /v1/refresh still works)")
+	live := flag.Bool("live", true, "register stores still being recorded and tail them while they run")
+	liveRefresh := flag.Duration("live-refresh", time.Second, "poll interval for live traces' frontiers (needs -live; 0 disables the poller)")
 	maxQueries := flag.Int("max-queries", 4, "concurrent slice/provenance query limit")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-query deadline")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "clamp on requested per-query deadlines")
@@ -57,7 +64,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	reg := query.NewRegistry(roots, query.RegistryOptions{CacheChunks: *cacheChunks})
+	reg := query.NewRegistry(roots, query.RegistryOptions{
+		CacheChunks: *cacheChunks,
+		Live:        *live,
+	})
 	// onAdded runs for every discovery path — the startup scan, the
 	// ticker, and POST /v1/refresh (via ServerOptions.OnRefresh) — so
 	// a trace gets its program no matter which refresher finds it.
@@ -71,7 +81,7 @@ func main() {
 	}
 	refreshOnce := func() {
 		added, err := reg.Refresh()
-		if err != nil {
+		if err != nil && !errors.Is(err, query.ErrClosed) {
 			log.Printf("refresh: %v", err)
 		}
 		onAdded(added)
@@ -92,15 +102,48 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Ticker goroutines are tracked by the WaitGroup so shutdown can
+	// wait out an in-flight refresh before closing the registry — a
+	// refresh racing Close would otherwise open readers nobody owns.
 	stop := make(chan struct{})
+	var tickers sync.WaitGroup
 	if *refresh > 0 {
+		tickers.Add(1)
 		go func() {
+			defer tickers.Done()
 			t := time.NewTicker(*refresh)
 			defer t.Stop()
 			for {
 				select {
 				case <-t.C:
 					refreshOnce()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	if *live && *liveRefresh > 0 {
+		tickers.Add(1)
+		go func() {
+			defer tickers.Done()
+			t := time.NewTicker(*liveRefresh)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					// The fast path: only live frontiers are polled, so
+					// with nothing live this is a map sweep, not I/O.
+					if reg.LiveCount() == 0 {
+						continue
+					}
+					closed, err := reg.PollLive()
+					if err != nil && !errors.Is(err, query.ErrClosed) {
+						log.Printf("live poll: %v", err)
+					}
+					if len(closed) > 0 {
+						log.Printf("trace(s) finished recording: %s", strings.Join(closed, ", "))
+					}
 				case <-stop:
 					return
 				}
@@ -125,13 +168,21 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}
+	// Orderly teardown: stop the tickers, wait for any in-flight
+	// refresh or poll to drain, then close the registry. Registry
+	// methods called after this point return query.ErrClosed instead
+	// of opening fresh readers into a dead process.
 	close(stop)
+	tickers.Wait()
+	if err := reg.Close(); err != nil {
+		log.Printf("registry close: %v", err)
+	}
 }
 
 // attachWorkloads attaches built-in workload programs to newly added
 // traces whose id is the workload name, optionally followed by a "-"
 // suffix (the recording convention "<workload>-<run>") and/or the
-// registry's "@N" id-collision suffix.
+// registry's "@tag" id-collision suffix.
 func attachWorkloads(reg *query.Registry, ids []string) {
 	byName := make(map[string]*prog.Workload)
 	for _, w := range prog.All() {

@@ -1095,7 +1095,16 @@ func (r *OracleRun) BackwardPCs(tid int, n uint64) map[int32]bool {
 // ground truth for slicing over elided traces, whose stored window
 // starts at the thread's first stored record rather than its first
 // executed instruction.
-func (r *OracleRun) BackwardPCsBounded(tid int, n uint64, lows map[int]uint64) map[int32]bool {
+//
+// highs bounds the walk from above the same way (nil = unbounded): a
+// def past its thread's high mark — or in a thread highs does not
+// list at all — contributes its PC but is a dead end. That is how a
+// slice over a live store behaves at the frontier: the dependence
+// record below the frontier names the def's PC, but the def's own
+// chunk has not landed yet, so the traversal cannot expand it. A
+// frontier snapshot passed as highs therefore gives the exact
+// expected PC set for a mid-recording slice.
+func (r *OracleRun) BackwardPCsBounded(tid int, n uint64, lows, highs map[int]uint64) map[int32]bool {
 	pcs := make(map[int32]bool)
 	pc, ok := r.NodePC(tid, n)
 	if !ok {
@@ -1117,6 +1126,11 @@ func (r *OracleRun) BackwardPCsBounded(tid int, n uint64, lows map[int]uint64) m
 			seenN[dk] = true
 			if lo := lows[d.defTID]; lo > 0 && d.defN < lo {
 				continue // truncated: PC recorded, node not expanded
+			}
+			if highs != nil {
+				if hi, ok := highs[d.defTID]; !ok || d.defN > hi {
+					continue // past the frontier: PC recorded, node not landed
+				}
 			}
 			work = append(work, dk)
 		}

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
 
 	"scaldift/internal/bdd"
@@ -414,6 +415,7 @@ func (s *scenario) offloaded() {
 
 	s.served(root, dir)
 	s.elided()
+	s.liveAttached()
 }
 
 // served registers the spilled trace and holds the HTTP query service
@@ -511,12 +513,188 @@ func (s *scenario) elided() {
 		pc, _ := w.NodePC(tid, hi)
 		back := slicing.Backward(r, s.g.Prog,
 			[]slicing.Criterion{{ID: ddg.MakeID(tid, hi), PC: pc}}, slicing.Options{})
-		want := w.BackwardPCsBounded(tid, hi, lows)
+		want := w.BackwardPCsBounded(tid, hi, lows, nil)
 		for wantPC := range want {
 			if !back.PCs[wantPC] {
 				s.failf("elided/backward", "tid %d: reconstruction lost pc %d:\nengine %v\noracle %v",
 					tid, wantPC, sortPCSet(back.PCs), sortPCSet(want))
 			}
+		}
+	}
+}
+
+// gatedSink buffers sealed chunks in arrival order and forwards them
+// to the real store writer only when released. Arrival order is seal
+// order per thread, so releasing any prefix hands the writer a
+// stream some slower recording could genuinely have produced — the
+// store is mid-recording, not corrupt.
+type gatedSink struct {
+	mu   sync.Mutex
+	wr   *store.Writer
+	held []ddg.RawChunk
+}
+
+func (g *gatedSink) SpillChunk(ch ddg.RawChunk) {
+	g.mu.Lock()
+	g.held = append(g.held, ch)
+	g.mu.Unlock()
+}
+
+func (g *gatedSink) heldCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.held)
+}
+
+// release forwards up to n held chunks to the writer.
+func (g *gatedSink) release(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n > len(g.held) {
+		n = len(g.held)
+	}
+	for _, ch := range g.held[:n] {
+		g.wr.SpillChunk(ch)
+	}
+	g.held = g.held[n:]
+}
+
+// liveAttached replays the exact recording into a fresh store through
+// a gate that withholds chunks, so the store is still recording when
+// a follower and the live query service attach. Half the stream
+// lands: direct slices over the follower and served slices over real
+// HTTP (live: true, frontier on the wire) must both equal the
+// oracle's frontier-bounded closure — a dependence reaching past the
+// frontier contributes its PC but is a dead end, exactly like window
+// truncation. Then the rest lands, the writer closes, and the same
+// trace must flip to served-complete with the unbounded closures and
+// no live fields.
+func (s *scenario) liveAttached() {
+	s.tb.Helper()
+	w := s.want
+	root := s.tb.TempDir()
+	dir := filepath.Join(root, fmt.Sprintf("live-%d", s.g.Seed))
+	wr, err := store.Create(store.Options{Dir: dir, SegmentBytes: 4 << 10})
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	gate := &gatedSink{wr: wr}
+	m := s.newMachine()
+	off := ontrac.NewOffloaded(s.g.Prog, ontrac.Options{}, pipeline.Options{Workers: 2})
+	off.SpillTo(gate)
+	s.checkRun("live", m, ontrac.Trace(m, off))
+
+	// The run is over but the store is mid-recording: only the first
+	// half of the chunk stream has landed.
+	total := gate.heldCount()
+	gate.release((total + 1) / 2)
+
+	r, err := store.Open(dir, store.ReaderOptions{Follow: true, CacheChunks: 4})
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Live() {
+		s.failf("live", "follower of a mid-recording store not live")
+	}
+	highs := make(map[int]uint64)
+	for _, tid := range r.Threads() {
+		if _, hi := r.Window(tid); hi > 0 {
+			highs[tid] = hi
+		}
+	}
+
+	// Direct slices at each thread's frontier...
+	for tid, hi := range highs {
+		pc, ok := w.NodePC(tid, hi)
+		if !ok {
+			s.failf("live", "frontier instance (%d,%d) unknown to the oracle", tid, hi)
+		}
+		back := slicing.Backward(r, s.g.Prog,
+			[]slicing.Criterion{{ID: ddg.MakeID(tid, hi), PC: pc}}, slicing.Options{})
+		s.checkPCSet("live/backward", tid, back.PCs, w.BackwardPCsBounded(tid, hi, nil, highs))
+	}
+
+	// ...and served slices from a live registry over real HTTP.
+	reg := query.NewRegistry([]string{root}, query.RegistryOptions{CacheChunks: 4, Live: true})
+	added, err := reg.Refresh()
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	defer reg.Close()
+	id := filepath.Base(dir)
+	if len(added) != 1 || added[0] != id {
+		s.failf("live/http", "mid-recording store not registered: %v", added)
+	}
+	if err := reg.AttachProgram(id, s.g.Prog, ontrac.Options{}); err != nil {
+		s.tb.Fatal(err)
+	}
+	srv := httptest.NewServer(query.NewServer(reg, query.ServerOptions{MaxConcurrent: 2, Workers: 2}).Handler())
+	defer srv.Close()
+	cl := query.NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	for tid, hi := range highs {
+		resp, err := cl.Slice(ctx, &query.SliceRequest{
+			Trace: id, Direction: query.DirBackward,
+			Criteria: []query.Criterion{{TID: tid, N: hi}},
+		})
+		if err != nil {
+			s.tb.Fatal(err)
+		}
+		if !resp.Live {
+			s.failf("live/http", "tid %d slice of a recording trace not marked live", tid)
+		}
+		served := make(map[int]uint64)
+		for _, fw := range resp.Frontier {
+			served[fw.TID] = fw.Hi
+		}
+		if fmt.Sprint(served) != fmt.Sprint(highs) {
+			s.failf("live/http", "served frontier %v, follower frontier %v", served, highs)
+		}
+		if want := w.BackwardPCsBounded(tid, hi, nil, highs); fmt.Sprint(resp.PCs) != fmt.Sprint(sortPCSet(want)) {
+			s.failf("live/http", "tid %d live served backward PCs diverged:\nserved %v\noracle %v",
+				tid, resp.PCs, sortPCSet(want))
+		}
+	}
+
+	// The rest of the stream lands and the writer closes: the follower
+	// observes the transition and hands over the complete graph...
+	gate.release(total)
+	if err := wr.Close(); err != nil {
+		s.tb.Fatal(err)
+	}
+	if _, err := r.Poll(); err != nil {
+		s.tb.Fatal(err)
+	}
+	if r.Live() {
+		s.failf("live", "follower still live after the writer closed")
+	}
+	s.checkGraph("live/final", r, 0)
+
+	// ...and the service flips the same id to served-complete: full
+	// unbounded closures, no live fields on the wire.
+	closed, err := reg.PollLive()
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	if len(closed) != 1 || closed[0] != id {
+		s.failf("live/http", "close transition reported %v, want [%s]", closed, id)
+	}
+	for _, tid := range w.RecordedThreads() {
+		_, hi := w.RecordedWindow(tid)
+		resp, err := cl.Slice(ctx, &query.SliceRequest{
+			Trace: id, Direction: query.DirBackward,
+			Criteria: []query.Criterion{{TID: tid, N: hi}},
+		})
+		if err != nil {
+			s.tb.Fatal(err)
+		}
+		if resp.Live || resp.Frontier != nil {
+			s.failf("live/http", "tid %d closed-trace slice still carries live fields", tid)
+		}
+		if back := w.BackwardPCs(tid, hi); fmt.Sprint(resp.PCs) != fmt.Sprint(sortPCSet(back)) {
+			s.failf("live/http", "tid %d post-close served PCs diverged:\nserved %v\noracle %v",
+				tid, resp.PCs, sortPCSet(back))
 		}
 	}
 }

@@ -162,6 +162,17 @@ type SliceResponse struct {
 	BudgetExhausted   bool `json:"budget_exhausted,omitempty"`
 	Interrupted       bool `json:"interrupted,omitempty"`
 
+	// Live reports the trace was still recording when this slice ran:
+	// the closure is bounded by Frontier, and re-running the query
+	// after the frontier advances may grow it. Closed traces omit
+	// both fields.
+	Live bool `json:"live,omitempty"`
+	// Frontier is the per-thread window of landed instances the slice
+	// was answered against (live traces only). Dependences reaching
+	// past it are reported via TruncatedAtWindow, exactly like the
+	// ring's eviction window.
+	Frontier []ThreadWindow `json:"frontier,omitempty"`
+
 	// ChunkLoads is the number of chunk decodes the query charged.
 	ChunkLoads int64 `json:"chunk_loads,omitempty"`
 	// WallMillis is the server-side traversal wall time.
@@ -231,6 +242,13 @@ type TraceInfo struct {
 	Chunks  int            `json:"chunks"`
 	// Recovered reports the store served a crash-recovered prefix.
 	Recovered bool `json:"recovered,omitempty"`
+	// Live reports the trace's writer has not closed yet: Threads is
+	// the advancing frontier, not the final range.
+	Live bool `json:"live,omitempty"`
+	// Generation is the store's manifest generation at the last poll
+	// (bumped by the writer on every seal and at close); clients can
+	// diff it to detect structural change cheaply.
+	Generation uint64 `json:"generation,omitempty"`
 	// Program is the attached program's name; empty when the trace is
 	// served raw (PCs only, no lines, no provenance).
 	Program string `json:"program,omitempty"`
@@ -254,7 +272,9 @@ type RefreshResponse struct {
 
 // StatsResponse is GET /v1/stats.
 type StatsResponse struct {
-	Traces        int   `json:"traces"`
+	Traces int `json:"traces"`
+	// LiveTraces counts registered traces still recording.
+	LiveTraces    int   `json:"live_traces"`
 	ActiveQueries int64 `json:"active_queries"`
 	QueriesServed int64 `json:"queries_served"`
 	Rejected      int64 `json:"queries_rejected"`

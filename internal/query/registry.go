@@ -1,6 +1,9 @@
 package query
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,37 +24,60 @@ type RegistryOptions struct {
 	// default. The cache is shared by every query against the trace;
 	// per-query budgets bound how much of it one query may churn.
 	CacheChunks int
+	// Live registers stores whose writer has not closed yet: the
+	// reader attaches in follow mode, the trace reports live: true
+	// with a monotone frontier, and PollLive advances it until the
+	// final manifest lands. Off, Refresh keeps today's behavior of
+	// skipping directories still being written.
+	Live bool
 }
 
+// ErrClosed reports an operation against a registry that Close has
+// already torn down.
+var ErrClosed = errors.New("query: registry closed")
+
 // Registry discovers and holds open store.Readers over a fleet of
-// trace directories. Refresh scans the roots for stores whose writer
-// has closed (manifest Closed) and registers each exactly once, so a
-// recording box can keep dropping new trace directories under a root
-// and a periodic refresh publishes them without a restart. A
-// directory still being written (no final manifest yet) is skipped
-// until its writer closes.
+// trace directories. Refresh scans the roots and registers each
+// store exactly once, so a recording box can keep dropping new trace
+// directories under a root and a periodic refresh publishes them
+// without a restart. A directory still being written (no final
+// manifest yet) is skipped — unless RegistryOptions.Live is set, in
+// which case it registers in follow mode and PollLive tails it while
+// it records.
 //
 // All methods are safe for concurrent use; reads take a shared lock,
-// so queries never wait on a refresh's directory scan.
+// so queries never wait on a refresh's directory scan. Refresh,
+// PollLive, and Close serialize against each other: a shutdown can
+// never race an in-flight refresh into opening readers it will not
+// release.
 type Registry struct {
 	roots []string
 	opts  RegistryOptions
 
+	refreshMu sync.Mutex // serializes Refresh / PollLive / Close
+
 	mu     sync.RWMutex
+	closed bool
 	traces map[string]*Trace
-	byDir  map[string]bool // canonical dirs already registered
+	byDir  map[string]string // canonical dir -> assigned trace id
 }
 
 // Trace is one registered trace directory: the open reader plus the
-// metadata the service reports. Immutable after registration except
-// the program attachment, which swaps in atomically.
+// metadata the service reports. ID, Dir, and the reader are fixed at
+// registration; the published snapshot (windows, chunk count,
+// liveness, generation) advances under its own lock as PollLive
+// tails a live store. The program attachment swaps in atomically.
 type Trace struct {
 	ID  string
 	Dir string
 
-	reader  *store.Reader
-	threads []ThreadWindow
-	chunks  int
+	reader *store.Reader
+
+	mu         sync.RWMutex
+	live       bool
+	generation uint64
+	threads    []ThreadWindow
+	chunks     int
 
 	attached atomic.Pointer[progAttachment]
 }
@@ -69,21 +95,45 @@ func NewRegistry(roots []string, opts RegistryOptions) *Registry {
 		roots:  append([]string(nil), roots...),
 		opts:   opts,
 		traces: make(map[string]*Trace),
-		byDir:  make(map[string]bool),
+		byDir:  make(map[string]string),
 	}
 }
 
-// Refresh scans every root for closed trace stores not yet
-// registered, opens them, and returns the new trace ids. Candidate
-// directories are each root itself and its immediate subdirectories.
-// The first error opening a store is returned after the scan
-// completes (other candidates still register); "not a store" and
-// "not closed yet" are not errors.
+// Refresh scans every root for trace stores not yet registered,
+// opens them, and returns the new trace ids. Candidate directories
+// are each root itself and its immediate subdirectories; they are
+// processed in sorted (basename, canonical path) order, so the same
+// fleet on disk always yields the same id assignment regardless of
+// root order or scan timing. The first error opening a store is
+// returned after the scan completes (other candidates still
+// register); "not a store" — and, without RegistryOptions.Live,
+// "not closed yet" — are not errors.
 func (g *Registry) Refresh() ([]string, error) {
-	var added []string
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	if g.isClosed() {
+		return nil, ErrClosed
+	}
+
+	type candidate struct {
+		base, canon, dir string
+	}
+	var cands []candidate
 	var firstErr error
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		canon := dir
+		if abs, err := filepath.Abs(dir); err == nil {
+			canon = abs
+		}
+		if seen[canon] {
+			return
+		}
+		seen[canon] = true
+		cands = append(cands, candidate{filepath.Base(canon), canon, dir})
+	}
 	for _, root := range g.roots {
-		cands := []string{root}
+		add(root)
 		entries, err := os.ReadDir(root)
 		if err != nil {
 			if !os.IsNotExist(err) && firstErr == nil {
@@ -93,69 +143,169 @@ func (g *Registry) Refresh() ([]string, error) {
 		}
 		for _, e := range entries {
 			if e.IsDir() {
-				cands = append(cands, filepath.Join(root, e.Name()))
+				add(filepath.Join(root, e.Name()))
 			}
 		}
-		for _, dir := range cands {
-			id, ok, err := g.register(dir)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			if ok {
-				added = append(added, id)
-			}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].base != cands[j].base {
+			return cands[i].base < cands[j].base
+		}
+		return cands[i].canon < cands[j].canon
+	})
+
+	var added []string
+	for _, c := range cands {
+		id, ok, err := g.register(c.dir, c.canon, c.base)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if ok {
+			added = append(added, id)
 		}
 	}
 	sort.Strings(added)
 	return added, firstErr
 }
 
-// register opens dir if it is an unregistered closed store. ok
-// reports a new registration.
-func (g *Registry) register(dir string) (id string, ok bool, err error) {
-	canon := dir
-	if abs, err := filepath.Abs(dir); err == nil {
-		canon = abs
-	}
+// register opens dir if it is an unregistered store (closed, or any
+// store in live mode). ok reports a new registration.
+func (g *Registry) register(dir, canon, base string) (id string, ok bool, err error) {
 	g.mu.RLock()
-	seen := g.byDir[canon]
+	_, seen := g.byDir[canon]
 	g.mu.RUnlock()
 	if seen {
 		return "", false, nil
 	}
-	closed, err := store.IsClosed(dir)
-	if err != nil || !closed {
+	isStore, closed, err := store.Status(dir)
+	if err != nil || !isStore {
 		return "", false, err
 	}
-	r, err := store.Open(dir, store.ReaderOptions{CacheChunks: g.opts.CacheChunks})
+	if !closed && !g.opts.Live {
+		return "", false, nil
+	}
+	r, err := store.Open(dir, store.ReaderOptions{
+		CacheChunks: g.opts.CacheChunks,
+		Follow:      !closed,
+	})
 	if err != nil {
 		return "", false, fmt.Errorf("query: open %s: %w", dir, err)
 	}
-	// Load indexes now: windows and chunk counts are fixed for a
-	// closed trace, and queries start against a warm index.
-	t := &Trace{Dir: dir, reader: r, chunks: r.Chunks()}
-	for _, tid := range r.Threads() {
-		lo, hi := r.Window(tid)
-		t.threads = append(t.threads, ThreadWindow{TID: tid, Lo: lo, Hi: hi})
-	}
+	// Load indexes now: queries start against a warm index, and a
+	// live trace's first frontier is published before it is visible.
+	t := &Trace{Dir: dir, reader: r}
+	t.refreshSnapshot()
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.byDir[canon] { // raced with another refresh
+	if _, raced := g.byDir[canon]; raced {
 		return "", false, nil
 	}
-	base := filepath.Base(canon)
 	id = base
-	for n := 2; ; n++ {
-		if _, taken := g.traces[id]; !taken {
-			break
+	if _, taken := g.traces[id]; taken {
+		// Deterministic collision suffix: derived from the canonical
+		// path, never from registration order, so a trace keeps the
+		// same public id across restarts and refreshes (the old @2
+		// counter handed out whichever number the scan order reached
+		// first).
+		id = base + "@" + dirTag(canon)
+		if _, taken := g.traces[id]; taken {
+			return "", false, fmt.Errorf("query: trace id collision for %s", canon)
 		}
-		id = fmt.Sprintf("%s@%d", base, n)
 	}
 	t.ID = id
 	g.traces[id] = t
-	g.byDir[canon] = true
+	g.byDir[canon] = id
 	return id, true, nil
+}
+
+// dirTag derives a stable 8-hex tag from a canonical directory path.
+func dirTag(canon string) string {
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:4])
+}
+
+// PollLive advances every live trace (store.Reader.Poll) and
+// republishes its snapshot: new chunks extend the frontier, and a
+// writer that closed flips its trace to served-complete mode — those
+// ids are returned. Serialized against Refresh and Close; cheap when
+// nothing is live.
+func (g *Registry) PollLive() (closedIDs []string, err error) {
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	if g.isClosed() {
+		return nil, ErrClosed
+	}
+	g.mu.RLock()
+	live := make([]*Trace, 0)
+	for _, t := range g.traces {
+		if t.Live() {
+			live = append(live, t)
+		}
+	}
+	g.mu.RUnlock()
+
+	var firstErr error
+	for _, t := range live {
+		advanced, perr := t.reader.Poll()
+		if perr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("query: poll %s: %w", t.ID, perr)
+		}
+		if advanced {
+			t.refreshSnapshot()
+		}
+		if !t.Live() {
+			closedIDs = append(closedIDs, t.ID)
+		}
+	}
+	sort.Strings(closedIDs)
+	return closedIDs, firstErr
+}
+
+// LiveCount returns how many registered traces are still recording.
+func (g *Registry) LiveCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, t := range g.traces {
+		if t.Live() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close marks the registry closed and releases every reader. It
+// serializes against in-flight Refresh and PollLive — a racing
+// refresh can never open readers a shutdown has already swept past —
+// and later calls to either return ErrClosed. Idempotent.
+func (g *Registry) Close() error {
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	traces := make([]*Trace, 0, len(g.traces))
+	for _, t := range g.traces {
+		traces = append(traces, t)
+	}
+	g.mu.Unlock()
+	var firstErr error
+	for _, t := range traces {
+		if err := t.reader.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (g *Registry) isClosed() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.closed
 }
 
 // Get returns the trace by id.
@@ -206,15 +356,56 @@ func (g *Registry) AttachProgram(id string, p *isa.Program, opts ontrac.Options)
 	return nil
 }
 
+// refreshSnapshot republishes the trace's windows, chunk count,
+// liveness, and generation from the reader. Runs at registration and
+// after every poll that advanced the store.
+func (t *Trace) refreshSnapshot() {
+	chunks := t.reader.Chunks()
+	var threads []ThreadWindow
+	for _, tid := range t.reader.Threads() {
+		lo, hi := t.reader.Window(tid)
+		threads = append(threads, ThreadWindow{TID: tid, Lo: lo, Hi: hi})
+	}
+	live := t.reader.Live()
+	gen := t.reader.Generation()
+	t.mu.Lock()
+	t.chunks = chunks
+	t.threads = threads
+	t.live = live
+	t.generation = gen
+	t.mu.Unlock()
+}
+
+// Live reports whether the trace's writer had not yet closed as of
+// the last poll.
+func (t *Trace) Live() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Frontier returns the last published per-thread windows: for a live
+// trace, the monotone frontier of instances that have landed; for a
+// closed one, the full retained range.
+func (t *Trace) Frontier() []ThreadWindow {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]ThreadWindow(nil), t.threads...)
+}
+
 // Info reports the trace's registry metadata.
 func (t *Trace) Info() TraceInfo {
+	t.mu.RLock()
 	info := TraceInfo{
-		ID:        t.ID,
-		Dir:       t.Dir,
-		Threads:   append([]ThreadWindow(nil), t.threads...),
-		Chunks:    t.chunks,
-		Recovered: t.reader.Recovered(),
+		ID:         t.ID,
+		Dir:        t.Dir,
+		Threads:    append([]ThreadWindow(nil), t.threads...),
+		Chunks:     t.chunks,
+		Live:       t.live,
+		Generation: t.generation,
 	}
+	t.mu.RUnlock()
+	info.Recovered = t.reader.Recovered()
 	if a := t.attached.Load(); a != nil {
 		info.Program = a.prog.Name
 		info.Reconstructing = true
@@ -245,9 +436,12 @@ func (t *Trace) Source(b *store.Budget, raw bool) ddg.Source {
 	return src
 }
 
-// Window returns the thread's retained range from the registration
-// snapshot (lo = hi = 0 for unknown threads).
+// Window returns the thread's last published range (lo = hi = 0 for
+// unknown threads). For a live trace this is the frontier, so "the
+// newest instance" criteria resolve against what has landed.
 func (t *Trace) Window(tid int) (lo, hi uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, w := range t.threads {
 		if w.TID == tid {
 			return w.Lo, w.Hi

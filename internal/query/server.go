@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -114,6 +115,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Traces:        s.reg.Len(),
+		LiveTraces:    s.reg.LiveCount(),
 		ActiveQueries: s.active.Load(),
 		QueriesServed: s.served.Load(),
 		Rejected:      s.rejected.Load(),
@@ -135,7 +137,11 @@ func (s *Server) handleRefresh(w http.ResponseWriter, _ *http.Request) {
 		s.opts.OnRefresh(added)
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "refresh: %v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable // shutting down
+		}
+		writeErr(w, status, "refresh: %v", err)
 		return
 	}
 	if added == nil {
@@ -171,14 +177,24 @@ func (s *Server) deadline(requestedMillis int64) time.Duration {
 }
 
 // resolveCriteria turns wire criteria into slicing criteria against
-// the trace: N == 0 selects the thread's newest retained instance,
-// and an omitted PC is looked up from the stored record.
-func resolveCriteria(t *Trace, src ddg.Source, wire []Criterion) ([]slicing.Criterion, error) {
+// the windows snapshot: N == 0 selects the thread's newest landed
+// instance, and an omitted PC is looked up from the stored record.
+// Resolving against the same snapshot the response reports keeps a
+// live answer self-consistent even while a poll advances the trace.
+func resolveCriteria(windows []ThreadWindow, src ddg.Source, wire []Criterion) ([]slicing.Criterion, error) {
+	hiOf := func(tid int) uint64 {
+		for _, w := range windows {
+			if w.TID == tid {
+				return w.Hi
+			}
+		}
+		return 0
+	}
 	out := make([]slicing.Criterion, 0, len(wire))
 	for i, c := range wire {
 		n := c.N
 		if n == 0 {
-			_, hi := t.Window(c.TID)
+			hi := hiOf(c.TID)
 			if hi == 0 {
 				return nil, fmt.Errorf("criterion %d: thread %d has no recorded instances", i, c.TID)
 			}
@@ -218,8 +234,14 @@ func (s *Server) runSlice(ctx context.Context, req *SliceRequest) (*SliceRespons
 	} else if s.opts.BudgetChunkLoads > 0 {
 		budget = store.NewBudget(int(s.opts.BudgetChunkLoads))
 	}
+	// Snapshot liveness and the frontier once: criteria resolve
+	// against it, and the response reports the same windows, so the
+	// answer names exactly the prefix it was computed over even if a
+	// poll lands mid-query.
+	live := t.Live()
+	frontier := t.Frontier()
 	src := t.Source(budget, req.Raw)
-	crits, err := resolveCriteria(t, src, req.Criteria)
+	crits, err := resolveCriteria(frontier, src, req.Criteria)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
 	}
@@ -260,6 +282,12 @@ func (s *Server) runSlice(ctx context.Context, req *SliceRequest) (*SliceRespons
 		Interrupted:       sl.Interrupted,
 		ChunkLoads:        budget.ChunkLoads(),
 		WallMillis:        float64(wall) / float64(time.Millisecond),
+	}
+	if live {
+		// Only live answers carry the window: closed-trace responses
+		// stay byte-identical to the pre-live wire format.
+		resp.Live = true
+		resp.Frontier = frontier
 	}
 	if len(sl.ShardBusy) > 0 {
 		resp.ShardBusyMillis = make(map[string]float64, len(sl.ShardBusy))

@@ -268,10 +268,10 @@ func TestStoreCrashCorruptFooterLength(t *testing.T) {
 }
 
 // TestStoreCrashWriterNeverClosed models a hard crash: chunks were
-// spilled but Close never ran, so no footer was written and the
-// manifest (written only at Create and Close) lists no segments. The
-// reader must discover the segment files by directory scan and serve
-// every spilled chunk.
+// spilled but Close never ran. The mid-run manifest lists sealed
+// segments (each seal publishes it) but not the open tails, which
+// also never got their footers. The reader must discover those tail
+// files by directory scan and serve every spilled chunk.
 func TestStoreCrashWriterNeverClosed(t *testing.T) {
 	dir := t.TempDir()
 	w, err := Create(Options{Dir: dir, SegmentBytes: 1024})
@@ -282,13 +282,19 @@ func TestStoreCrashWriterNeverClosed(t *testing.T) {
 	c.SetSpill(w)
 	model := appendSynthetic(c, 2, 600)
 	c.Flush()
-	// No w.Close(): the manifest still has zero segment entries.
+	// No w.Close(): the manifest must not claim a clean shutdown, and
+	// the open tail segments are not yet listed.
 	man, err := readManifest(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(man.Segments) != 0 || man.Closed {
-		t.Fatalf("manifest written mid-run: %+v", man)
+	if man.Closed {
+		t.Fatalf("manifest closed mid-run: %+v", man)
+	}
+	for _, ms := range man.Segments {
+		if !ms.Sealed {
+			t.Fatalf("mid-run manifest lists unsealed segment %q", ms.File)
+		}
 	}
 
 	r, err := Open(dir, ReaderOptions{})

@@ -28,10 +28,15 @@ type manifestSeg struct {
 // manifest is the store's root metadata document, in the
 // header/version-guarded style of Sia's persist layer.
 type manifest struct {
-	Header   string        `json:"header"`
-	Version  string        `json:"version"`
-	Closed   bool          `json:"closed"`
-	Segments []manifestSeg `json:"segments"`
+	Header  string `json:"header"`
+	Version string `json:"version"`
+	Closed  bool   `json:"closed"`
+	// Generation counts manifest rewrites: 0 at Create, bumped on
+	// every seal and at Close. A follower compares generations to
+	// detect structural change (new or sealed segments) without
+	// diffing the segment list.
+	Generation uint64        `json:"generation,omitempty"`
+	Segments   []manifestSeg `json:"segments"`
 }
 
 // writeManifest atomically replaces dir's manifest (temp file +
@@ -68,20 +73,30 @@ func writeManifest(dir string, m *manifest) error {
 // here" is an answer, not a failure — so pollers can cheaply skip
 // directories still being written.
 func IsClosed(dir string) (closed bool, err error) {
+	_, closed, err = Status(dir)
+	return closed, err
+}
+
+// Status reports whether dir holds a trace store at all (a valid
+// manifest exists) and, if so, whether its writer has closed. The
+// distinction lets a live-following registry tell "still recording"
+// (isStore, !closed) apart from "not a store here" (!isStore); a
+// missing or foreign manifest is the latter, not a failure.
+func Status(dir string) (isStore, closed bool, err error) {
 	m, err := readManifest(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return false, nil
+			return false, false, nil
 		}
-		// Corrupt or foreign manifests are "not a closed store", but
-		// surface genuine I/O problems (permissions etc).
+		// Corrupt or foreign manifests are "not a store", but surface
+		// genuine I/O problems (permissions etc).
 		var perr *os.PathError
 		if errors.As(err, &perr) {
-			return false, err
+			return false, false, err
 		}
-		return false, nil
+		return false, false, nil
 	}
-	return m.Closed, nil
+	return true, m.Closed, nil
 }
 
 // readManifest loads and validates dir's manifest.

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"scaldift/internal/ddg"
 )
@@ -20,49 +21,73 @@ type ReaderOptions struct {
 	// 8 chunks, matching Compact's in-memory cache): slicing over a
 	// store far larger than RAM keeps only this working set decoded.
 	CacheChunks int
+	// Follow attaches to a store whose writer may still be running:
+	// an unclosed manifest means "live", not crash damage, and Poll
+	// picks up newly landed chunks, new segments, and the final
+	// close. The reader's windows are then a monotone frontier — the
+	// prefix of each thread's stream that has durably landed — rather
+	// than the whole recorded range.
+	Follow bool
 }
 
 // Reader reopens a store directory as a ddg.Source. Opening reads
-// the manifest and lists the directory (a crashed writer never got to
-// write its final manifest, so segment files not yet listed are
-// discovered by scan); each thread's chunk index loads lazily on
-// first access (sealed segments via their footer, unsealed or
-// damaged segments via a CRC-checked prefix scan), and chunk
-// payloads load and decode on demand through a bounded per-thread
-// cache. No file handles are held between calls, so a store of many
-// thousands of segments never exhausts the fd limit.
+// the manifest and lists the directory (segments created since the
+// last manifest write are discovered by scan); each thread's chunk
+// index loads lazily on first access (sealed segments via their
+// footer, unsealed or damaged segments via a CRC-checked prefix
+// scan), and chunk payloads load and decode on demand through a
+// bounded per-thread cache. No file handles are held between calls,
+// so a store of many thousands of segments never exhausts the fd
+// limit.
+//
+// With ReaderOptions.Follow, the reader attaches to a store that is
+// still recording: Window reports the frontier of CRC-valid chunks
+// on disk, and Poll advances it incrementally — only bytes past the
+// last known-good offset of each tail segment are re-read.
 //
 // Reads are safe for concurrent use: threads are sharded into
 // independently locked states, so slicing.ParallelBackward's workers
-// proceed in parallel as long as they touch different threads.
+// proceed in parallel as long as they touch different threads. Poll
+// may run concurrently with queries (it is serialized against
+// itself).
 type Reader struct {
 	dir  string
 	opts ReaderOptions
 
-	threads map[int]*threadState
-	tids    []int
+	pollMu sync.Mutex // serializes Poll
 
-	mu        sync.Mutex
-	recovered bool
-	err       error // first unexpected I/O error (not crash damage)
+	mu         sync.Mutex
+	threads    map[int]*threadState
+	tids       []int
+	known      map[string]bool // segment basenames already adopted
+	live       bool
+	generation uint64
+	recovered  bool
+	err        error // first unexpected I/O error (not crash damage)
+
+	tailScanned atomic.Int64 // bytes read by incremental tail scans
 }
 
 // threadState is one thread's lazily loaded index and cache.
 type threadState struct {
-	tid    int
-	mu     sync.Mutex
-	segs   []readerSeg
-	loaded bool
-	chunks []tChunk // across segments, ascending baseN
-	cache  map[int]map[uint64][]ddg.Dep
-	fifo   []int
+	tid       int
+	mu        sync.Mutex
+	segs      []readerSeg
+	loaded    bool
+	nextSeg   int      // first segment not yet fully indexed
+	segOff    int64    // scan resume offset in segs[nextSeg] (0 = header unread)
+	segChunks int      // chunks already indexed from segs[nextSeg]
+	chunks    []tChunk // across segments, ascending baseN
+	cache     map[int]map[uint64][]ddg.Dep
+	fifo      []int
 }
 
 // readerSeg is one segment file of a thread.
 type readerSeg struct {
 	path   string
-	seq    int  // per-thread creation index from the filename
-	sealed bool // manifest says sealed (footer expected)
+	file   string // basename
+	seq    int    // per-thread creation index from the filename
+	sealed bool   // manifest says sealed (footer expected)
 }
 
 // tChunk locates one chunk for a thread.
@@ -75,9 +100,11 @@ type tChunk struct {
 // error): callers degrade to recovery instead of surfacing it.
 var errDamage = errors.New("store: damaged chunk")
 
-// Open opens the store at dir for reading. The writer must have been
-// closed (or have crashed): segment files the manifest never listed
-// and unsealed tails are recovered up to their last intact chunk.
+// Open opens the store at dir for reading. Without Follow the writer
+// must have been closed (or have crashed): segment files the
+// manifest never listed and unsealed tails are recovered up to their
+// last intact chunk. With Follow, an unclosed store is live and the
+// same prefix is the current frontier, advanced by Poll.
 func Open(dir string, opts ReaderOptions) (*Reader, error) {
 	if opts.CacheChunks <= 0 {
 		opts.CacheChunks = 8
@@ -86,8 +113,14 @@ func Open(dir string, opts ReaderOptions) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{dir: dir, opts: opts, threads: make(map[int]*threadState)}
-	listed := make(map[string]bool, len(man.Segments))
+	r := &Reader{
+		dir:        dir,
+		opts:       opts,
+		threads:    make(map[int]*threadState),
+		known:      make(map[string]bool),
+		live:       opts.Follow && !man.Closed,
+		generation: man.Generation,
+	}
 	addSeg := func(tid, seq int, file string, sealed bool) {
 		ts, ok := r.threads[tid]
 		if !ok {
@@ -97,6 +130,7 @@ func Open(dir string, opts ReaderOptions) (*Reader, error) {
 		}
 		ts.segs = append(ts.segs, readerSeg{
 			path:   filepath.Join(dir, file),
+			file:   file,
 			seq:    seq,
 			sealed: sealed,
 		})
@@ -104,29 +138,31 @@ func Open(dir string, opts ReaderOptions) (*Reader, error) {
 	for _, ms := range man.Segments {
 		tid, seq, ok := parseSegName(ms.File)
 		if !ok || tid != ms.TID {
-			tid, seq = ms.TID, len(listed)
+			tid, seq = ms.TID, len(r.known)
 		}
-		listed[ms.File] = true
+		r.known[ms.File] = true
 		addSeg(tid, seq, ms.File, ms.Sealed)
 	}
-	// Directory scan: a crashed run's segments are on disk but not in
-	// the manifest (which is only written at Create and Close).
+	// Directory scan: segments created since the last manifest write
+	// are on disk but not yet listed (and a crashed run never gets to
+	// list its tail at all).
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	strays := false
 	for _, e := range entries {
 		name := e.Name()
-		if listed[name] {
+		if r.known[name] {
 			continue
 		}
 		if tid, seq, ok := parseSegName(name); ok {
+			r.known[name] = true
 			addSeg(tid, seq, name, false)
-			strays = true
 		}
 	}
-	if strays && !man.Closed {
+	if !man.Closed && !opts.Follow {
+		// Cold-opening an unclosed store is crash recovery: the
+		// reader serves the longest valid prefix of whatever landed.
 		r.recovered = true
 	}
 	for _, ts := range r.threads {
@@ -153,10 +189,30 @@ func (r *Reader) Close() error { return nil }
 
 // Recovered reports whether any segment accessed so far was truncated
 // or corrupt and served a recovered prefix instead of its full index.
+// A live follower does not count the in-flight tail as recovery.
 func (r *Reader) Recovered() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.recovered
+}
+
+// Live reports whether the reader is following a writer that has not
+// closed yet. It transitions to false on the Poll that observes the
+// final manifest.
+func (r *Reader) Live() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live
+}
+
+// Generation returns the last manifest generation the reader
+// observed. The writer bumps it on every seal and at close, so an
+// unchanged generation means the segment roster is unchanged (tail
+// chunks may still have landed — only Poll detects those).
+func (r *Reader) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.generation
 }
 
 // Err returns the first unexpected I/O error (permissions, fd
@@ -184,15 +240,174 @@ func (r *Reader) markErr(err error) {
 	r.mu.Unlock()
 }
 
+func (r *Reader) isLive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.live
+}
+
+// thread returns tid's state under r.mu (Poll may grow the map
+// concurrently with queries).
+func (r *Reader) thread(tid int) *threadState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.threads[tid]
+}
+
+// allThreads snapshots every thread state in tid order.
+func (r *Reader) allThreads() []*threadState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*threadState, 0, len(r.tids))
+	for _, tid := range r.tids {
+		out = append(out, r.threads[tid])
+	}
+	return out
+}
+
+// Poll re-examines a live store: it re-reads the manifest (a bumped
+// generation means segments sealed or the writer closed), discovers
+// newly created segment files, and extends each thread's index by
+// scanning only bytes past the previous frontier. It reports whether
+// anything advanced — new chunks landed, or the store transitioned
+// to closed. On a reader that is not live, Poll is a no-op.
+func (r *Reader) Poll() (advanced bool, err error) {
+	r.pollMu.Lock()
+	defer r.pollMu.Unlock()
+
+	r.mu.Lock()
+	wasLive := r.live
+	r.mu.Unlock()
+	if !wasLive {
+		return false, nil
+	}
+
+	man, err := readManifest(r.dir)
+	if err != nil {
+		return false, err
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return false, err
+	}
+	sealedNow := make(map[string]bool)
+	for _, ms := range man.Segments {
+		if ms.Sealed {
+			sealedNow[ms.File] = true
+		}
+	}
+
+	// Adopt newly appeared segments (manifest-listed and strays).
+	// The writer names segments with monotonically increasing
+	// per-thread seqs, so sorting the batch keeps each thread's segs
+	// slice ordered without disturbing existing entries (indexed
+	// chunks hold positions into it).
+	type newSeg struct {
+		tid, seq int
+		file     string
+		sealed   bool
+	}
+	var fresh []newSeg
+	r.mu.Lock()
+	for _, ms := range man.Segments {
+		if r.known[ms.File] {
+			continue
+		}
+		tid, seq, ok := parseSegName(ms.File)
+		if !ok || tid != ms.TID {
+			tid, seq = ms.TID, len(r.known)
+		}
+		r.known[ms.File] = true
+		fresh = append(fresh, newSeg{tid, seq, ms.File, ms.Sealed})
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if r.known[name] {
+			continue
+		}
+		if tid, seq, ok := parseSegName(name); ok {
+			r.known[name] = true
+			fresh = append(fresh, newSeg{tid, seq, name, false})
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		if fresh[i].tid != fresh[j].tid {
+			return fresh[i].tid < fresh[j].tid
+		}
+		return fresh[i].seq < fresh[j].seq
+	})
+	perTid := make(map[int][]newSeg)
+	for _, ns := range fresh {
+		if _, ok := r.threads[ns.tid]; !ok {
+			r.threads[ns.tid] = &threadState{tid: ns.tid}
+			r.tids = append(r.tids, ns.tid)
+		}
+		perTid[ns.tid] = append(perTid[ns.tid], ns)
+	}
+	sort.Ints(r.tids)
+	nowLive := !man.Closed
+	r.live = nowLive
+	r.generation = man.Generation
+	states := make([]*threadState, 0, len(r.tids))
+	for _, tid := range r.tids {
+		states = append(states, r.threads[tid])
+	}
+	r.mu.Unlock()
+
+	for _, ts := range states {
+		ts.mu.Lock()
+		for _, ns := range perTid[ts.tid] {
+			ts.segs = append(ts.segs, readerSeg{
+				path:   filepath.Join(r.dir, ns.file),
+				file:   ns.file,
+				seq:    ns.seq,
+				sealed: ns.sealed,
+			})
+		}
+		for i := ts.nextSeg; i < len(ts.segs); i++ {
+			if sealedNow[ts.segs[i].file] {
+				ts.segs[i].sealed = true
+			}
+		}
+		before := len(ts.chunks)
+		if !ts.loaded {
+			r.ensureLoaded(ts)
+		} else {
+			r.advanceThread(ts, nowLive)
+		}
+		if len(ts.chunks) > before {
+			advanced = true
+		}
+		ts.mu.Unlock()
+	}
+	if !nowLive {
+		advanced = true // live → closed is itself an advance
+	}
+	return advanced, nil
+}
+
 // ensureLoaded builds the thread's chunk index on first access
-// (ts.mu held). Each segment file is opened, indexed, and closed.
+// (ts.mu held).
 func (r *Reader) ensureLoaded(ts *threadState) {
 	if ts.loaded {
 		return
 	}
 	ts.loaded = true
-	for i := range ts.segs {
-		f, err := os.Open(ts.segs[i].path)
+	ts.cache = make(map[int]map[uint64][]ddg.Dep, r.opts.CacheChunks)
+	r.advanceThread(ts, r.isLive())
+}
+
+// advanceThread indexes newly available chunks for one thread (ts.mu
+// held). Sealed segments go through their footer; the unsealed tail
+// is scanned incrementally from the last known-good offset, so each
+// poll pays only for bytes appended since the previous one. With
+// live, an incomplete tail record means "still being written" and
+// the scan simply stops at the frontier; without it, the same bytes
+// are crash damage and the thread recovers its valid prefix.
+func (r *Reader) advanceThread(ts *threadState, live bool) {
+	for ts.nextSeg < len(ts.segs) {
+		seg := &ts.segs[ts.nextSeg]
+		f, err := os.Open(seg.path)
 		if err != nil {
 			// A missing segment is crash loss (only its own chunks are
 			// gone); anything else is a real I/O problem worth
@@ -202,27 +417,63 @@ func (r *Reader) ensureLoaded(ts *threadState) {
 			} else {
 				r.markErr(err)
 			}
+			ts.finishSeg()
 			continue
 		}
-		// Footer first (sealed segments, and strays that were sealed
-		// before the crash); fall back to the CRC-checked prefix scan.
-		metas, ok := readFooterIndex(f)
-		if !ok {
-			if ts.segs[i].sealed {
-				r.markRecovered() // promised footer is gone/corrupt
+		if seg.sealed {
+			// Footer fast path. A partially scanned tail that sealed
+			// between polls lands here too: the footer lists every
+			// chunk, so only the suffix past segChunks is new.
+			if metas, ok := readFooterIndex(f); ok {
+				f.Close()
+				if ts.segChunks < len(metas) {
+					ts.appendChunks(metas[ts.segChunks:])
+				}
+				ts.finishSeg()
+				continue
 			}
-			var truncated bool
-			metas, truncated = scanSegment(f)
-			if truncated {
-				r.markRecovered()
-			}
+			r.markRecovered() // promised footer is gone/corrupt
 		}
+		metas, newOff, scanned, status := scanSegmentFrom(f, ts.segOff)
 		f.Close()
-		for _, cm := range metas {
-			ts.chunks = append(ts.chunks, tChunk{seg: i, chunkMeta: cm})
+		r.tailScanned.Add(scanned)
+		ts.appendChunks(metas)
+		ts.segOff = newOff
+		switch status {
+		case scanDone:
+			ts.finishSeg()
+		case scanBoundary, scanPartial:
+			if live && !seg.sealed {
+				// The frontier: everything up to segOff is served; the
+				// rest is still in flight. Later segments of this
+				// thread cannot hold earlier instances, so stop here.
+				return
+			}
+			if status == scanPartial {
+				r.markRecovered() // torn record: crash prefix
+			}
+			ts.finishSeg()
+		case scanDamage:
+			r.markRecovered()
+			ts.finishSeg()
 		}
 	}
-	ts.cache = make(map[int]map[uint64][]ddg.Dep, r.opts.CacheChunks)
+}
+
+// appendChunks adopts freshly indexed chunks of segs[nextSeg]
+// (ts.mu held).
+func (ts *threadState) appendChunks(metas []chunkMeta) {
+	for _, cm := range metas {
+		ts.chunks = append(ts.chunks, tChunk{seg: ts.nextSeg, chunkMeta: cm})
+	}
+	ts.segChunks += len(metas)
+}
+
+// finishSeg advances past the current segment (ts.mu held).
+func (ts *threadState) finishSeg() {
+	ts.nextSeg++
+	ts.segOff = 0
+	ts.segChunks = 0
 }
 
 // readFooterIndex parses a sealed segment's trailing footer block.
@@ -273,53 +524,92 @@ func readFooterIndex(f *os.File) ([]chunkMeta, bool) {
 	return metas, true
 }
 
-// scanSegment reads chunk records sequentially, stopping at the
-// footer sentinel, EOF, or the first CRC/framing failure. truncated
-// reports that the scan ended on damage rather than a clean end.
-func scanSegment(f *os.File) (metas []chunkMeta, truncated bool) {
-	data, err := readAll(f)
+// scanStatus reports how a segment scan ended.
+type scanStatus int
+
+const (
+	scanDone     scanStatus = iota // footer sentinel: segment complete
+	scanBoundary                   // clean EOF exactly at a record boundary
+	scanPartial                    // EOF mid-record: in-flight write or torn tail
+	scanDamage                     // definite corruption (bad magic, CRC fail, absurd framing)
+)
+
+// scanSegmentFrom parses chunk records from off (0 = start of file,
+// header unread), returning their metas, the offset of the first
+// unconsumed byte (always a record boundary), the number of bytes
+// read, and how the scan ended. It is the incremental half of live
+// tail-following: a poll resumes at the previous newOff and pays
+// only for bytes appended since. scanPartial vs scanDamage is the
+// load-bearing distinction — a record cut off by EOF may simply not
+// have finished landing (the writer appends each record with one
+// write, so a concurrent reader sees a clean prefix), while a CRC
+// mismatch on a fully present record can only be corruption.
+func scanSegmentFrom(f *os.File, off int64) (metas []chunkMeta, newOff int64, scanned int64, status scanStatus) {
+	data, err := readAllFrom(f, off)
+	scanned = int64(len(data))
 	if err != nil {
-		return nil, true
+		return nil, off, scanned, scanDamage
 	}
-	_, pos, err := parseSegHeader(data)
-	if err != nil {
-		return nil, true
+	pos := int64(0)
+	if off == 0 {
+		n := len(data)
+		if n > len(segMagic) {
+			n = len(segMagic)
+		}
+		if string(data[:n]) != segMagic[:n] {
+			return nil, 0, scanned, scanDamage
+		}
+		if len(data) <= len(segMagic) {
+			return nil, 0, scanned, scanPartial // header not fully landed
+		}
+		_, k := binary.Uvarint(data[len(segMagic):])
+		if k == 0 {
+			return nil, 0, scanned, scanPartial
+		}
+		if k < 0 {
+			return nil, 0, scanned, scanDamage
+		}
+		pos = int64(len(segMagic) + k)
 	}
-	for int(pos) < len(data) {
+	for pos < int64(len(data)) {
 		plen, k := binary.Uvarint(data[pos:])
-		if k <= 0 || plen > uint64(len(data)) {
+		if k == 0 {
+			return metas, off + pos, scanned, scanPartial // varint cut off
+		}
+		if k < 0 || plen >= 1<<31 {
 			// Unreadable or absurd length (a corrupt varint near 2^64
-			// would overflow the end arithmetic below): damage.
-			return metas, true
+			// would overflow the end arithmetic below): damage, not a
+			// chunk still in flight.
+			return metas, off + pos, scanned, scanDamage
 		}
 		if plen == 0 {
-			return metas, false // footer sentinel: clean end
+			return metas, off + pos, scanned, scanDone // footer sentinel
 		}
 		start := pos + int64(k)
 		end := start + int64(plen) + 4
 		if end > int64(len(data)) {
-			return metas, true // truncated mid-chunk
+			return metas, off + pos, scanned, scanPartial // record cut off
 		}
 		payload := data[start : start+int64(plen)]
 		crc := binary.LittleEndian.Uint32(data[start+int64(plen) : end])
 		if crc32.ChecksumIEEE(payload) != crc {
-			return metas, true
+			return metas, off + pos, scanned, scanDamage
 		}
 		gseq, baseN, lastN, count, _, err := parseChunkPayload(payload)
 		if err != nil {
-			return metas, true
+			return metas, off + pos, scanned, scanDamage
 		}
 		metas = append(metas, chunkMeta{
-			off: pos, plen: int(plen),
+			off: off + pos, plen: int(plen),
 			gseq: gseq, baseN: baseN, lastN: lastN, count: count,
 		})
 		pos = end
 	}
-	return metas, false
+	return metas, off + pos, scanned, scanBoundary
 }
 
-func readAll(f *os.File) ([]byte, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
+func readAllFrom(f *os.File, off int64) ([]byte, error) {
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
 		return nil, err
 	}
 	return io.ReadAll(f)
@@ -384,24 +674,25 @@ func (ts *threadState) findChunk(n uint64) int {
 
 // Threads implements ddg.Source.
 func (r *Reader) Threads() []int {
-	out := make([]int, 0, len(r.tids))
-	for _, tid := range r.tids {
-		ts := r.threads[tid]
+	states := r.allThreads()
+	out := make([]int, 0, len(states))
+	for _, ts := range states {
 		ts.mu.Lock()
 		r.ensureLoaded(ts)
 		n := len(ts.chunks)
 		ts.mu.Unlock()
 		if n > 0 {
-			out = append(out, tid)
+			out = append(out, ts.tid)
 		}
 	}
 	return out
 }
 
-// Window implements ddg.Source: the whole recovered on-disk range.
+// Window implements ddg.Source: the whole recovered on-disk range —
+// or, on a live follower, the current frontier.
 func (r *Reader) Window(tid int) (uint64, uint64) {
-	ts, ok := r.threads[tid]
-	if !ok {
+	ts := r.thread(tid)
+	if ts == nil {
 		return 0, 0
 	}
 	ts.mu.Lock()
@@ -429,8 +720,8 @@ func (r *Reader) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
 // result is dropped in favor of the cached first — duplicate work,
 // never inconsistent state.
 func (r *Reader) depsAt(id ddg.ID, budget *Budget) []ddg.Dep {
-	ts, ok := r.threads[id.TID()]
-	if !ok {
+	ts := r.thread(id.TID())
+	if ts == nil {
 		return nil
 	}
 	ts.mu.Lock()
@@ -444,8 +735,9 @@ func (r *Reader) depsAt(id ddg.ID, budget *Budget) []ddg.Dep {
 		ts.mu.Unlock()
 		return m[id.N()]
 	}
-	// Cache miss: snapshot what the load needs (segs and chunks are
-	// immutable once loaded) and decode outside the lock.
+	// Cache miss: snapshot what the load needs (indexed segs and
+	// chunks are never mutated, only appended to) and decode outside
+	// the lock.
 	tc := ts.chunks[idx]
 	path := ts.segs[tc.seg].path
 	ts.mu.Unlock()
@@ -457,18 +749,25 @@ func (r *Reader) depsAt(id ddg.ID, budget *Budget) []ddg.Dep {
 	}
 	m, err := readChunk(path, ts.tid, tc)
 	if err != nil {
-		// A chunk that indexed cleanly but fails its payload CRC (or
-		// vanished) is damage past the index's guarantees: serve what
-		// remains. Other I/O failures additionally surface via Err.
-		if os.IsNotExist(err) || errors.Is(err, errDamage) ||
-			errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			r.markRecovered()
-		} else {
-			r.markErr(err)
+		if !errors.Is(err, errDamage) {
+			// Missing files and short reads can be transient — an fs
+			// blip, or a racing writer the index got ahead of — so
+			// record the condition but leave the cache alone: the next
+			// access retries the load instead of serving a permanent
+			// hole for the chunk's whole instance range.
+			if os.IsNotExist(err) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				r.markRecovered()
+			} else {
+				r.markErr(err)
+			}
+			return nil
 		}
-		// Negative-cache the chunk: without this, a slice walking the
+		// A chunk that indexed cleanly but fails its payload CRC is
+		// damage past the index's guarantees: serve what remains.
+		// Negative-cache it — without that, a slice walking the
 		// hundreds of instances a damaged chunk covers would re-open,
 		// re-read, and re-CRC it once per query.
+		r.markRecovered()
 		m = nil
 	}
 	ts.mu.Lock()
@@ -494,8 +793,7 @@ func (r *Reader) NodePC(id ddg.ID) (int32, bool) {
 // thread's index).
 func (r *Reader) Chunks() int {
 	n := 0
-	for _, tid := range r.tids {
-		ts := r.threads[tid]
+	for _, ts := range r.allThreads() {
 		ts.mu.Lock()
 		r.ensureLoaded(ts)
 		n += len(ts.chunks)

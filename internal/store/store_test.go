@@ -15,8 +15,18 @@ func appendSynthetic(dst interface {
 	Append(use ddg.ID, usePC int32, deps []ddg.Dep, rlDelta uint64)
 }, threads, perThread int) *ddg.Full {
 	model := ddg.NewFull()
+	appendPhase(dst, model, threads, 1, uint64(perThread))
+	return model
+}
+
+// appendPhase extends the synthetic stream by instances [lo,hi] per
+// thread, growing model to match, so a live writer can land the same
+// stream appendSynthetic produces in stages.
+func appendPhase(dst interface {
+	Append(use ddg.ID, usePC int32, deps []ddg.Dep, rlDelta uint64)
+}, model *ddg.Full, threads int, lo, hi uint64) {
 	for tid := 0; tid < threads; tid++ {
-		for n := uint64(1); n <= uint64(perThread); n++ {
+		for n := lo; n <= hi; n++ {
 			use := ddg.MakeID(tid, n)
 			pc := int32((n % 97) + 1)
 			var deps []ddg.Dep
@@ -39,7 +49,6 @@ func appendSynthetic(dst interface {
 			dst.Append(use, pc, deps, 0)
 		}
 	}
-	return model
 }
 
 // diffSource asserts got serves exactly the deps/NodePC the model

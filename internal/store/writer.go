@@ -177,16 +177,16 @@ func (w *Writer) spill(ch ddg.RawChunk) {
 	w.chunks++
 	w.bytes += uint64(len(ch.Buf))
 	if seg.size >= int64(w.opts.SegmentBytes) {
-		w.sealSeg(seg)
+		w.sealSeg(seg, true)
 	}
 }
 
 // segFor returns tid's active segment, creating its file and
-// in-memory manifest entry on first use (w.mu held). The manifest
-// itself is only written at Create and Close: a crashed run leaves
-// segment files the reader discovers by directory scan, so no
-// per-segment manifest rewrite (quadratic I/O at scale) is needed
-// for crash safety.
+// in-memory manifest entry on first use (w.mu held). The manifest is
+// written at Create, on each seal, and at Close — but not per chunk
+// or per segment creation: a crashed run's unsealed tail files are
+// discovered by the reader's directory scan, so crash safety never
+// depends on a per-append manifest rewrite.
 func (w *Writer) segFor(tid int) (*openSeg, error) {
 	if seg, ok := w.segs[tid]; ok {
 		return seg, nil
@@ -217,9 +217,12 @@ func (w *Writer) segFor(tid int) (*openSeg, error) {
 }
 
 // sealSeg writes the footer, optionally fsyncs, closes the file, and
-// marks the in-memory manifest entry sealed (w.mu held). Errors are
-// sticky.
-func (w *Writer) sealSeg(seg *openSeg) {
+// marks the in-memory manifest entry sealed (w.mu held). With
+// publish, the manifest is rewritten under a bumped generation so
+// live followers learn of the sealed segment without waiting for
+// Close; Close passes false and publishes once for all its seals.
+// Errors are sticky.
+func (w *Writer) sealSeg(seg *openSeg, publish bool) {
 	ftr := appendFooter(nil, seg.index)
 	if _, err := seg.f.Write(ftr); err != nil {
 		w.err = err
@@ -247,6 +250,23 @@ func (w *Writer) sealSeg(seg *openSeg) {
 	}
 	delete(w.segs, seg.tid)
 	w.sealed++
+	if publish {
+		// Mid-run manifests list sealed segments only, so "listed"
+		// always implies "footer present": open tails stay unlisted
+		// until their own seal (a follower finds them by directory
+		// scan, exactly like crash recovery does).
+		w.man.Generation++
+		pub := w.man
+		pub.Segments = make([]manifestSeg, 0, len(w.man.Segments))
+		for _, ms := range w.man.Segments {
+			if ms.Sealed {
+				pub.Segments = append(pub.Segments, ms)
+			}
+		}
+		if err := writeManifest(w.opts.Dir, &pub); err != nil {
+			w.err = err
+		}
+	}
 }
 
 // syncDir fsyncs a directory, making renames and entry creations in
@@ -283,12 +303,13 @@ func (w *Writer) Close() error {
 			seg.f.Close()
 			continue
 		}
-		w.sealSeg(seg)
+		w.sealSeg(seg, false)
 	}
 	w.segs = nil
 	w.closed = true
 	if w.err == nil {
 		w.man.Closed = true
+		w.man.Generation++
 		w.err = writeManifest(w.opts.Dir, &w.man)
 		if w.err == nil && w.opts.SyncOnSeal {
 			w.err = syncDir(w.opts.Dir)
