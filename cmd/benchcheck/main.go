@@ -55,6 +55,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// A baseline naming a benchmark that no longer runs is a warning,
+	// never a failure (even under -strict): smoke jobs select subsets,
+	// and a renamed benchmark should not brick CI — it should nag until
+	// the baseline file is regenerated.
+	for _, name := range missingBaselines(measured, baselines) {
+		fmt.Fprintf(os.Stderr, "benchcheck: warning: baseline %s has no matching benchmark in the output (renamed or removed? regenerate the BENCH_*.json)\n", name)
+	}
 	rows := compare(measured, baselines, *threshold)
 	if len(rows) == 0 {
 		fmt.Println("benchcheck: no benchmark in the output matches a checked-in baseline")
@@ -300,6 +307,21 @@ func compare(measured, baselines map[string]metrics, threshold float64) []row {
 		return rows[i].unit < rows[j].unit
 	})
 	return rows
+}
+
+// missingBaselines returns the sorted names of baselines with no
+// measured benchmark at all. (A benchmark that ran but lost a metric
+// unit still compares on the units both sides share; only a fully
+// absent name is reported.)
+func missingBaselines(measured, baselines map[string]metrics) []string {
+	var out []string
+	for name := range baselines {
+		if _, ok := measured[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // markdown renders the comparison as a GitHub job-summary table.

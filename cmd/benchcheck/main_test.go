@@ -120,3 +120,30 @@ func TestCompareAndMarkdown(t *testing.T) {
 		t.Error("improvement flagged as regression")
 	}
 }
+
+func TestMissingBaselinesAreWarningsNotRows(t *testing.T) {
+	baselines := map[string]metrics{
+		"BenchmarkGone":    {"events/s": 1000}, // renamed/removed benchmark
+		"BenchmarkPresent": {"events/s": 1000},
+	}
+	measured := map[string]metrics{
+		"BenchmarkPresent": {"events/s": 950},
+	}
+	missing := missingBaselines(measured, baselines)
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missingBaselines = %v, want [BenchmarkGone]", missing)
+	}
+	// The stale baseline must not leak into the comparison: it neither
+	// produces a row nor a regression, so -strict cannot fail on it.
+	rows := compare(measured, baselines, 0.30)
+	if len(rows) != 1 || rows[0].name != "BenchmarkPresent" {
+		t.Fatalf("compare rows = %+v, want only BenchmarkPresent", rows)
+	}
+	if rows[0].regressed {
+		t.Error("within-threshold run flagged")
+	}
+	// A fully matching run reports nothing missing.
+	if m := missingBaselines(baselines, baselines); len(m) != 0 {
+		t.Errorf("fully matched run reported missing baselines: %v", m)
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// This file implements `scaldiftvet ./...` without go vet: it shells
+// out to `go list -deps -export -json` for the package graph and the
+// compiled export data of every dependency, then typechecks the
+// matched packages from source and runs the suite. Test files are not
+// loaded in this mode (go list's GoFiles excludes them); the go vet
+// path is the one that covers _test.go.
+
+// listPkg is the subset of `go list -json` output the driver reads.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+func runStandalone(patterns []string) int {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scaldiftvet: go list: %v\n", err)
+		return 1
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "scaldiftvet: decoding go list output: %v\n", err)
+			return 1
+		}
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "scaldiftvet: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+
+	exit := 0
+	for _, p := range targets {
+		code := checkFromSource(p, exports)
+		if code > exit {
+			exit = code
+		}
+	}
+	return exit
+}
+
+func checkFromSource(p *listPkg, exports map[string]string) int {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scaldiftvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := p.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := NewInfo()
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scaldiftvet: typechecking %s: %v\n", p.ImportPath, err)
+		return 1
+	}
+	return reportDiags(fset, RunPackage(fset, files, pkg, info, Suite()))
+}

@@ -1,0 +1,9 @@
+// Package ddg is a fixture stand-in for scaldift/internal/ddg;
+// cancelpoll matches []Dep traversals by package name.
+package ddg
+
+// Dep models one dependency edge.
+type Dep struct {
+	Def uint64
+	Use uint64
+}

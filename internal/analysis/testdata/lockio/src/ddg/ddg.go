@@ -1,0 +1,18 @@
+// Package ddg is a fixture stand-in for scaldift/internal/ddg; lockio
+// matches RawChunk.Decode by package name.
+package ddg
+
+// Dep models one dependency edge.
+type Dep struct {
+	Def uint64
+}
+
+// RawChunk models an undecoded chunk.
+type RawChunk struct {
+	Data []byte
+}
+
+// Decode models the expensive chunk decode.
+func (c *RawChunk) Decode() ([]Dep, error) {
+	return nil, nil
+}

@@ -1,0 +1,128 @@
+// Package a exercises the poolescape analyzer: pointers into
+// pool-recycled values must not be retained past the recycle.
+package a
+
+import (
+	"sync"
+
+	"vm"
+)
+
+var pool = sync.Pool{New: func() any { return new(vm.Batch) }}
+
+var global *vm.Event
+
+type sink struct {
+	evs  []*vm.Event
+	last *vm.Event
+	m    map[uint64]*vm.Event
+}
+
+type record struct {
+	ev *vm.Event
+}
+
+var records []record
+
+func (s *sink) retainPointer(b *vm.Batch) {
+	s.last = &b.Events[0] // want "stored in field s.last"
+}
+
+func (s *sink) retainSlice(evs []*vm.Event) {
+	s.evs = append(s.evs, evs...) // want "stored in field s.evs"
+}
+
+func (s *sink) retainMap(b *vm.Batch) {
+	s.m[b.Events[0].Seq] = &b.Events[0] // want "stored in s.m"
+}
+
+func storeGlobal(b *vm.Batch) {
+	global = &b.Events[0] // want "package-level variable global"
+}
+
+func sendPooled(ch chan *vm.Batch) {
+	b := pool.Get().(*vm.Batch)
+	ch <- b // want "sent on a channel"
+}
+
+func storeComposite(b *vm.Batch) {
+	records = append(records, record{ev: &b.Events[0]}) // want "package-level variable records"
+}
+
+func viaHolder(s *sink, b *vm.Batch) {
+	var keep []*vm.Event
+	for i := range b.Events {
+		keep = append(keep, &b.Events[i])
+	}
+	s.evs = keep // want "stored in field s.evs"
+}
+
+// arena is recycled by a pool elsewhere; the directive opts it into
+// the same escape rules as vm.Batch.
+//
+//scaldift:pooled
+type arena struct {
+	bytes []byte
+}
+
+var globalArena *arena
+
+func storeArena(a *arena) {
+	globalArena = a // want "package-level variable globalArena"
+}
+
+// copyValue is allowed: copying the event by value is the sanctioned
+// way to retain one.
+func copyValue(b *vm.Batch) vm.Event {
+	ev := b.Events[0]
+	return ev
+}
+
+// deliverCopies is allowed: values are copied out element by element.
+func deliverCopies(evs []*vm.Event) []vm.Event {
+	out := make([]vm.Event, len(evs))
+	for i, ev := range evs {
+		out[i] = *ev
+	}
+	return out
+}
+
+// localMapOK is allowed: the container is itself loop-local, so the
+// pointers die with it.
+func localMapOK(b *vm.Batch) int {
+	m := map[uint64]*vm.Event{}
+	for i := range b.Events {
+		m[b.Events[i].Seq] = &b.Events[i]
+	}
+	return len(m)
+}
+
+// ignoredRetain shows a deliberate, documented exception.
+func ignoredRetain(s *sink, b *vm.Batch) {
+	s.last = &b.Events[0] //scaldift:ignore poolescape test double is drained before the batch recycles
+}
+
+// staleIgnore's directive suppresses nothing, which is itself an
+// error.
+func staleIgnore(b *vm.Batch) vm.Event {
+	//scaldift:ignore poolescape nothing on the next line is flagged // want "stale //scaldift:ignore poolescape"
+	return b.Events[0]
+}
+
+func missingReason(b *vm.Batch) vm.Event {
+	// want "needs a reason"
+	//scaldift:ignore poolescape
+	return b.Events[0]
+}
+
+func unknownAnalyzer(b *vm.Batch) vm.Event {
+	// want "unknown analyzer"
+	//scaldift:ignore nosuchcheck because reasons
+	return b.Events[0]
+}
+
+func unknownDirective(b *vm.Batch) vm.Event {
+	// want "unknown scaldift directive"
+	//scaldift:frobnicate
+	return b.Events[0]
+}

@@ -1,0 +1,16 @@
+// Package vm is a fixture stand-in for scaldift/internal/vm: the
+// analyzers match its pooled types by package name, so this minimal
+// model exercises them without importing the real machine.
+package vm
+
+// Event models one recorded taint event.
+type Event struct {
+	Seq uint64
+	Op  int
+}
+
+// Batch models a pool-recycled batch of events.
+type Batch struct {
+	Tid    int
+	Events []Event
+}

@@ -1,0 +1,75 @@
+// Package store exercises the stickyerr analyzer: only
+// errDamage-classified errors may enter the negative chunk cache.
+package store
+
+import "errors"
+
+var errDamage = errors.New("damaged chunk")
+
+type threadState struct {
+	cache map[int]map[uint64][]int
+}
+
+func (ts *threadState) cachePut(idx int, m map[uint64][]int) {}
+
+// putNegative is the one sanctioned place a nil (negative) entry is
+// written — by either shape; stickyerr checks its call sites instead.
+func (ts *threadState) putNegative(idx int, err error, bound int) {
+	ts.cache[idx] = nil
+	ts.cachePut(idx, nil)
+}
+
+func (ts *threadState) badUnguarded(idx int, err error) {
+	ts.putNegative(idx, err, 0) // want "putNegative called without an errors.Is"
+}
+
+func (ts *threadState) goodGuarded(idx int, err error) {
+	if errors.Is(err, errDamage) {
+		ts.putNegative(idx, err, 0)
+	}
+}
+
+func (ts *threadState) goodEarlyReturn(idx int, err error) {
+	if !errors.Is(err, errDamage) {
+		return
+	}
+	ts.putNegative(idx, err, 0)
+}
+
+func (ts *threadState) goodElse(idx int, err error) {
+	if !errors.Is(err, errDamage) {
+		_ = idx
+	} else {
+		ts.putNegative(idx, err, 0)
+	}
+}
+
+func (ts *threadState) goodCombined(idx int, err error, bound int) {
+	if err != nil && errors.Is(err, errDamage) {
+		ts.putNegative(idx, err, bound)
+	}
+}
+
+// badSibling: the guard must dominate the call; a check in an
+// unrelated branch does not.
+func (ts *threadState) badSibling(idx int, err error) {
+	if errors.Is(err, errDamage) {
+		_ = idx
+	}
+	ts.putNegative(idx, err, 0) // want "putNegative called without an errors.Is"
+}
+
+func (ts *threadState) badNilCachePut(idx int, err error) {
+	if errors.Is(err, errDamage) {
+		ts.cachePut(idx, nil) // want "cachePut called with nil deps"
+	}
+}
+
+func (ts *threadState) badDirectNil(idx int) {
+	ts.cache[idx] = nil // want "nil stored directly into ts.cache"
+}
+
+// quarantine documents a deliberate exception.
+func (ts *threadState) quarantine(idx int, err error) {
+	ts.putNegative(idx, err, 0) //scaldift:ignore stickyerr quarantine path pins every error by design
+}

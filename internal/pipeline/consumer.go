@@ -61,6 +61,7 @@ func (c *Consumer) Attach(m *vm.Machine, batchEvents, queueDepth int, filter fun
 	}
 	c.in = make(chan *vm.Batch, queueDepth)
 	c.done = make(chan struct{})
+	//scaldift:ignore poolescape emit hands batch ownership to the consumer goroutine, which recycles it after feed
 	c.rec = vm.NewRecorder(batchEvents, filter, func(b *vm.Batch) { c.in <- b })
 	m.AttachTool(c.rec)
 	go func() {
@@ -109,7 +110,7 @@ func (c *Consumer) feed(b *vm.Batch) {
 	if len(c.window) >= c.windowBatches && b.Group != c.winGroup {
 		c.flushWindow()
 	}
-	c.window = append(c.window, b)
+	c.window = append(c.window, b) //scaldift:ignore poolescape the consumer owns accumulated batches and recycles them itself in flushWindow
 	c.winGroup = b.Group
 }
 

@@ -22,12 +22,12 @@ type retainSink struct {
 }
 
 func (s *retainSink) OnOutput(ev *vm.Event, _ bool) {
-	s.evs = append(s.evs, ev)
+	s.evs = append(s.evs, ev) //scaldift:ignore poolescape deliberate retention: this test proves sinks get per-delivery copies
 	s.want = append(s.want, *ev)
 }
 
 func (s *retainSink) OnIndirectBranch(ev *vm.Event, _ bool) {
-	s.evs = append(s.evs, ev)
+	s.evs = append(s.evs, ev) //scaldift:ignore poolescape deliberate retention: this test proves sinks get per-delivery copies
 	s.want = append(s.want, *ev)
 }
 

@@ -109,7 +109,7 @@ func (p *Pipeline[L]) applyOrdered(w []*vm.Batch) {
 	for i := range evs {
 		evs[i] = nil
 	}
-	p.seqBuf = evs[:0]
+	p.seqBuf = evs[:0] //scaldift:ignore poolescape reslice of the nil-cleared scratch: length 0, pointers already dropped above
 }
 
 // applyParallel dispatches each thread's chain to the worker pool,

@@ -134,6 +134,7 @@ func (g *Registry) Refresh() ([]string, error) {
 	}
 	for _, root := range g.roots {
 		add(root)
+		//scaldift:ignore lockio refreshMu serializes whole refreshes by design; readers use registryMu, never this lock
 		entries, err := os.ReadDir(root)
 		if err != nil {
 			if !os.IsNotExist(err) && firstErr == nil {

@@ -75,6 +75,12 @@ func ParallelForward(g ddg.Source, prog *isa.Program, start []ddg.ID, opts Optio
 		}()
 	}
 	wg.Wait()
+	// A cancellation during the scans leaves the buckets partial;
+	// merging and traversing them would burn edge-proportional work
+	// only to produce a slice the caller already declined to wait for.
+	if interrupted.Load() || opts.doneFired() {
+		return fwMerge(nil, prog, true)
+	}
 
 	// Phase 2: one shard per thread that can appear in the traversal
 	// (scanned threads, def threads, start threads); each shard's
@@ -106,13 +112,20 @@ func ParallelForward(g ddg.Source, prog *isa.Program, start []ddg.ID, opts Optio
 		go func() {
 			defer wg.Done()
 			for _, b := range buckets {
-				for _, d := range b[s.tid] {
+				for i, d := range b[s.tid] {
+					if i&donePollMask == 0 && opts.doneFired() {
+						interrupted.Store(true)
+						return
+					}
 					s.rev[d.Def] = append(s.rev[d.Def], d)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if interrupted.Load() {
+		return fwMerge(nil, prog, true)
+	}
 
 	var (
 		pending int64 // queued-but-unfinished items, atomic

@@ -2,6 +2,7 @@ package slicing
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -151,5 +152,50 @@ func TestSliceCancellation(t *testing.T) {
 	q := Backward(g, w.Prog, crits, Options{FollowControl: true, Done: quiet})
 	if q.Interrupted || q.Nodes != full.Nodes {
 		t.Fatal("idle Done channel perturbed the traversal")
+	}
+}
+
+// cancellingSource wraps a Source and closes done after a fixed
+// number of DepsOf calls, firing cancellation deterministically in the
+// middle of ParallelForward's scan phase.
+type cancellingSource struct {
+	ddg.Source
+	done  chan struct{}
+	after int64
+	calls atomic.Int64
+}
+
+func (c *cancellingSource) DepsOf(id ddg.ID, yield func(ddg.Dep)) {
+	if c.calls.Add(1) == c.after {
+		close(c.done)
+	}
+	c.Source.DepsOf(id, yield)
+}
+
+// TestParallelForwardStopsAfterCancelledScan pins the between-phases
+// contract: when Done fires during the scan phase, ParallelForward
+// returns an empty Interrupted slice instead of merging partial
+// buckets and traversing them — edge-proportional work for a result
+// the caller has already declined to wait for.
+func TestParallelForwardStopsAfterCancelledScan(t *testing.T) {
+	w := prog.PSum(4, 800, 7)
+	g := buildWorkloadGraph(t, w, 5)
+	var starts []ddg.ID
+	for _, tid := range g.Threads() {
+		if id := oldestWithDeps(g, tid); id != 0 {
+			starts = append(starts, id)
+		}
+	}
+	if len(starts) == 0 {
+		t.Skip("no recorded instances")
+	}
+	done := make(chan struct{})
+	cg := &cancellingSource{Source: g, done: done, after: 512}
+	s := ParallelForward(cg, w.Prog, starts, Options{FollowControl: true, Done: done}, 4)
+	if !s.Interrupted {
+		t.Fatal("mid-scan cancellation not marked Interrupted")
+	}
+	if s.Nodes != 0 || s.Edges != 0 || len(s.PCs) != 0 {
+		t.Fatalf("cancelled-in-scan slice still traversed: %d nodes, %d edges", s.Nodes, s.Edges)
 	}
 }

@@ -286,6 +286,7 @@ func (r *Reader) Poll() (advanced bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	//scaldift:ignore lockio pollMu only single-flights Poll itself; the read path locks ts.mu, never this
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
 		return false, err
@@ -622,6 +623,8 @@ func readAllFrom(f *os.File, off int64) ([]byte, error) {
 // every concurrent query touching the thread behind the disk. The
 // segment file is opened and closed per load: the cache makes reloads
 // rare, and the reader stays fd-free between calls.
+//
+//scaldift:io
 func readChunk(path string, tid int, tc tChunk) (map[uint64][]ddg.Dep, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -660,6 +663,18 @@ func (ts *threadState) cachePut(idx int, m map[uint64][]ddg.Dep, bound int) {
 	}
 	ts.cache[idx] = m
 	ts.fifo = append(ts.fifo, idx)
+}
+
+// putNegative records a negative (nil) entry for a chunk whose payload
+// is structurally damaged (ts.mu held). This is the ONLY sanctioned
+// way to make a chunk invisible: callers must first classify the load
+// error with errors.Is(err, errDamage) — the stickyerr analyzer
+// enforces it — because negative-caching a transient failure (a short
+// read racing an in-flight append, a momentary open error) would keep
+// serving a hole for the chunk's whole instance range after the writer
+// completes it.
+func (ts *threadState) putNegative(idx int, bound int) {
+	ts.cachePut(idx, nil, bound)
 }
 
 // findChunk locates the chunk holding instance n (ts.mu held, index
@@ -768,7 +783,17 @@ func (r *Reader) depsAt(id ddg.ID, budget *Budget) []ddg.Dep {
 		// hundreds of instances a damaged chunk covers would re-open,
 		// re-read, and re-CRC it once per query.
 		r.markRecovered()
-		m = nil
+		ts.mu.Lock()
+		if prev, ok := ts.cache[idx]; ok {
+			// Another loader raced us in: serve its entry rather than
+			// overwriting it.
+			deps := prev[id.N()]
+			ts.mu.Unlock()
+			return deps
+		}
+		ts.putNegative(idx, r.opts.CacheChunks)
+		ts.mu.Unlock()
+		return nil
 	}
 	ts.mu.Lock()
 	if prev, ok := ts.cache[idx]; ok {

@@ -300,7 +300,7 @@ func (w *Writer) Close() error {
 	}
 	for _, seg := range w.segs {
 		if w.err != nil {
-			seg.f.Close()
+			seg.f.Close() //scaldift:ignore lockio Close is the cold shutdown path; w.mu guards it against concurrent Append teardown
 			continue
 		}
 		w.sealSeg(seg, false)

@@ -120,7 +120,7 @@ func (r *Recorder) buf(tid int) *Batch {
 		b.TID = tid
 		b.Events = b.Events[:0]
 		b.Sync = false
-		r.bufs[tid] = b
+		r.bufs[tid] = b //scaldift:ignore poolescape the recorder owns the pool; bufs holds at most one in-flight batch per thread until Seal
 	}
 	return r.bufs[tid]
 }
