@@ -1,7 +1,8 @@
 // Command benchcheck guards the checked-in benchmark baselines: it
 // parses `go test -bench` output, maps benchmark names to the
 // throughput numbers recorded in BENCH_store.json,
-// BENCH_pipeline.json, and BENCH_ontrac.json, and reports any
+// BENCH_pipeline.json, BENCH_ontrac.json, and BENCH_lifecycle.json,
+// and reports any
 // benchmark whose events/s or MB/s dropped more than the threshold
 // below its baseline.
 //
@@ -137,6 +138,15 @@ type storeBench struct {
 	} `json:"spill"`
 }
 
+type lifecycleBench struct {
+	Retention struct {
+		MBPerS float64 `json:"mb_per_sec"`
+	} `json:"retention_spill"`
+	Cache struct {
+		HitQueriesPS float64 `json:"hit_queries_per_sec"`
+	} `json:"cache"`
+}
+
 type pipelineBench struct {
 	Results []struct {
 		Workload string `json:"workload"`
@@ -220,6 +230,14 @@ func loadBaselines(dir string) (map[string]metrics, error) {
 				add("BenchmarkStoreSpillAsync", "MB/s", sp.MBPerS)
 			}
 		}
+	}
+
+	var lb lifecycleBench
+	if ok, err := readJSON(filepath.Join(dir, "BENCH_lifecycle.json"), &lb); err != nil {
+		return nil, err
+	} else if ok {
+		add("BenchmarkLifecycleRetentionSpill", "MB/s", lb.Retention.MBPerS)
+		add("BenchmarkLifecycleCacheHit", "queries/s", lb.Cache.HitQueriesPS)
 	}
 
 	var pb pipelineBench

@@ -16,6 +16,13 @@
 // attached, enabling statement-level lines, O1 reconstruction, and
 // provenance; traces recorded outside the built-in suite are served
 // as raw PC sets.
+//
+// The -janitor ticker keeps the fleet bounded: closed traces are
+// trimmed down to -retain-bytes / -retain-age (whole sealed segments,
+// oldest first, the trimmed window reported on every answer), and
+// cold readers idle past -reader-ttl or over -max-readers are
+// evicted — the trace stays registered and re-attaches on the next
+// query. DELETE /v1/traces/{id} (?purge=1) retires a trace outright.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"scaldift/internal/ontrac"
 	"scaldift/internal/prog"
 	"scaldift/internal/query"
+	"scaldift/internal/store"
 )
 
 // multiFlag collects a repeatable -root flag.
@@ -57,6 +65,12 @@ func main() {
 	workers := flag.Int("workers", 8, "default traversal shard switch")
 	cacheChunks := flag.Int("cache-chunks", 0, "per-thread decoded-chunk cache bound per trace reader (0 = store default)")
 	attach := flag.Bool("attach-workloads", true, "attach built-in workload programs to traces named after them")
+	readerTTL := flag.Duration("reader-ttl", 15*time.Minute, "evict a cold trace's reader after this much idle time (0 = never)")
+	maxReaders := flag.Int("max-readers", 0, "cap on open cold-trace readers; the least-recently-used are evicted past it (0 = uncapped)")
+	resultCache := flag.Int("result-cache", 0, "LRU result-cache entries for completed slice answers (0 = default 256, negative disables)")
+	retainBytes := flag.Int64("retain-bytes", 0, "per-trace sealed-segment byte budget the janitor trims closed stores down to (0 = retain everything)")
+	retainAge := flag.Duration("retain-age", 0, "delete sealed segments older than this (0 = no age limit)")
+	janitor := flag.Duration("janitor", time.Minute, "retention-trim and reader-eviction sweep interval (0 disables)")
 	flag.Parse()
 	if len(roots) == 0 {
 		fmt.Fprintln(os.Stderr, "tracequeryd: at least one -root is required")
@@ -67,6 +81,8 @@ func main() {
 	reg := query.NewRegistry(roots, query.RegistryOptions{
 		CacheChunks: *cacheChunks,
 		Live:        *live,
+		ReaderTTL:   *readerTTL,
+		MaxReaders:  *maxReaders,
 	})
 	// onAdded runs for every discovery path — the startup scan, the
 	// ticker, and POST /v1/refresh (via ServerOptions.OnRefresh) — so
@@ -92,12 +108,13 @@ func main() {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: query.NewServer(reg, query.ServerOptions{
-			MaxConcurrent:    *maxQueries,
-			DefaultDeadline:  *deadline,
-			MaxDeadline:      *maxDeadline,
-			Workers:          *workers,
-			BudgetChunkLoads: *budget,
-			OnRefresh:        onAdded,
+			MaxConcurrent:      *maxQueries,
+			DefaultDeadline:    *deadline,
+			MaxDeadline:        *maxDeadline,
+			Workers:            *workers,
+			BudgetChunkLoads:   *budget,
+			OnRefresh:          onAdded,
+			ResultCacheEntries: *resultCache,
 		}).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -151,6 +168,24 @@ func main() {
 		}()
 	}
 
+	if *janitor > 0 {
+		ret := store.Retention{MaxBytes: *retainBytes, MaxAge: *retainAge}
+		tickers.Add(1)
+		go func() {
+			defer tickers.Done()
+			t := time.NewTicker(*janitor)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					janitorSweep(reg, ret)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
@@ -176,6 +211,32 @@ func main() {
 	tickers.Wait()
 	if err := reg.Close(); err != nil {
 		log.Printf("registry close: %v", err)
+	}
+}
+
+// janitorSweep is one lifecycle pass over the fleet: trim every
+// closed trace down to the retention policy (live traces skip — their
+// writers own retention), then evict readers idle past the TTL or
+// over the LRU cap. Trims are logged per trace; eviction is routine
+// and logged only in aggregate.
+func janitorSweep(reg *query.Registry, ret store.Retention) {
+	if ret.MaxBytes > 0 || ret.MaxAge > 0 {
+		for _, info := range reg.List() {
+			if info.Live {
+				continue
+			}
+			removed, err := reg.TrimTrace(info.ID, ret)
+			if err != nil && !errors.Is(err, query.ErrClosed) && !errors.Is(err, query.ErrUnknownTrace) {
+				log.Printf("janitor trim %s: %v", info.ID, err)
+				continue
+			}
+			if removed > 0 {
+				log.Printf("janitor: trimmed %d segment(s) from %s", removed, info.ID)
+			}
+		}
+	}
+	if evicted := reg.EvictCold(time.Now()); len(evicted) > 0 {
+		log.Printf("janitor: evicted %d cold reader(s): %s", len(evicted), strings.Join(evicted, ", "))
 	}
 }
 

@@ -53,6 +53,7 @@ func Suite() []*Analyzer {
 		LockIO,
 		CancelPoll,
 		StickyErr,
+		TrimPin,
 	}
 }
 

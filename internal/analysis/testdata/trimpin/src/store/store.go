@@ -1,0 +1,93 @@
+// Package store exercises the trimpin analyzer: trim paths must
+// consult the pin set before unlinking segment files.
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+type PinSet struct{ n map[string]int }
+
+func (p *PinSet) Pinned(file string) bool { return p != nil && p.n[file] > 0 }
+
+type manifestSeg struct {
+	File string
+	TID  int
+}
+
+// unlinkTrimmedGood mirrors the real shape: skip pinned victims with
+// an early continue, then unlink.
+func unlinkTrimmedGood(dir string, victims []manifestSeg, pins *PinSet) {
+	for _, ms := range victims {
+		if pins.Pinned(ms.File) {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, ms.File))
+	}
+}
+
+// unlinkTrimmedBad deletes without ever consulting the pin set — the
+// exact bug the analyzer exists to stop.
+func unlinkTrimmedBad(dir string, victims []manifestSeg) {
+	for _, ms := range victims {
+		_ = os.Remove(filepath.Join(dir, ms.File)) // want "os.Remove on a trim path without a Pinned check"
+	}
+}
+
+// trimDirBad reaches for the bigger hammer, still unguarded.
+func trimDirBad(dir string) {
+	_ = os.RemoveAll(dir) // want "os.RemoveAll on a trim path without a Pinned check"
+}
+
+// trimThenBranch guards with the negated membership test.
+func trimThenBranch(dir string, ms manifestSeg, pins *PinSet) {
+	if !pins.Pinned(ms.File) {
+		_ = os.Remove(filepath.Join(dir, ms.File))
+	}
+}
+
+// trimElseBranch guards through the positive test's else arm.
+func trimElseBranch(dir string, ms manifestSeg, pins *PinSet) {
+	if pins.Pinned(ms.File) {
+		_ = ms.TID
+	} else {
+		_ = os.Remove(filepath.Join(dir, ms.File))
+	}
+}
+
+// sweepOrphansGood mirrors the real orphan sweep: the pin check may
+// share its early-continue with other skip conditions.
+func sweepOrphansGood(dir string, names []string, listed map[string]bool, pins *PinSet) {
+	for _, name := range names {
+		if listed[name] || pins.Pinned(name) {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// sweepWrongBlock checks the pin in one loop and unlinks in another:
+// the guard does not dominate the unlink, so it must flag.
+func sweepWrongBlock(dir string, names []string, pins *PinSet) {
+	for _, name := range names {
+		if pins.Pinned(name) {
+			continue
+		}
+	}
+	for _, name := range names {
+		_ = os.Remove(filepath.Join(dir, name)) // want "os.Remove on a trim path without a Pinned check"
+	}
+}
+
+// trimSuppressed documents a sanctioned exception.
+func trimSuppressed(dir string) {
+	//scaldift:ignore trimpin fixture: whole-store teardown, no follower can hold pins here
+	_ = os.RemoveAll(dir)
+}
+
+// compactSegments is not on a trim path (no "trim"/"sweep" in the
+// name): unguarded unlinks here are some other analyzer's business.
+func compactSegments(dir string, name string) {
+	_ = os.Remove(filepath.Join(dir, name))
+}

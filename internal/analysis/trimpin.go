@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TrimPin pins the fleet-lifecycle invariant from PR 9: retention
+// never unlinks a segment a live follower has pinned. A follower in
+// follow mode holds the segment at its frontier open (the cached tail
+// fd) and registers it in the shared PinSet; if a trim deletes that
+// file out from under it, the next read on the pinned fd silently
+// serves unlinked data on Linux and hard-fails elsewhere — and either
+// way the pin-set contract is gone.
+//
+// Statically enforced shape: inside any function on a trim path (its
+// lowercased name contains "trim" or "sweep" — unlinkTrimmed,
+// sweepOrphans, and whatever future trim helpers grow), every call to
+// os.Remove / os.RemoveAll must be dominated by a pin check:
+//
+//   - the call sits in the then-branch of `if !pins.Pinned(file)`
+//     (or the else-branch of the positive test), or
+//   - an earlier statement in the same block skips pinned files:
+//     `if pins.Pinned(file) { continue/return/break }`.
+//
+// The guard is matched by method name (Pinned), so the rule holds for
+// any pin-set-shaped value without importing the store package here.
+// I/O helpers that are not on a trim path are LockIO's business, not
+// TrimPin's.
+var TrimPin = &Analyzer{
+	Name: "trimpin",
+	Doc:  "requires trim paths to consult the pin set before unlinking segment files",
+	Run:  runTrimPin,
+}
+
+func runTrimPin(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := strings.ToLower(fd.Name.Name)
+			if !strings.Contains(name, "trim") && !strings.Contains(name, "sweep") {
+				continue
+			}
+			tp := &trimPin{pass: pass, fn: fd.Name.Name}
+			tp.block(fd.Body, false)
+		}
+	}
+}
+
+type trimPin struct {
+	pass *Pass
+	fn   string
+}
+
+// block scans a statement list. guarded reports whether every path
+// into this block established that the victim is not pinned.
+func (tp *trimPin) block(b *ast.BlockStmt, guarded bool) {
+	g := guarded
+	for _, s := range b.List {
+		tp.stmt(s, g)
+		// An early `if pins.Pinned(f) { continue/return }` guards
+		// everything after it in this block.
+		if ifs, ok := s.(*ast.IfStmt); ok && tp.posPinnedCond(ifs.Cond) && terminates(ifs.Body) {
+			g = true
+		}
+	}
+}
+
+func (tp *trimPin) stmt(s ast.Stmt, guarded bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		tp.block(s, guarded)
+	case *ast.IfStmt:
+		tp.block(s.Body, guarded || tp.negPinnedCond(s.Cond))
+		switch els := s.Else.(type) {
+		case *ast.BlockStmt:
+			tp.block(els, guarded || tp.posPinnedCond(s.Cond))
+		case *ast.IfStmt:
+			tp.stmt(els, guarded)
+		}
+	case *ast.ForStmt:
+		tp.block(s.Body, guarded)
+	case *ast.RangeStmt:
+		tp.block(s.Body, guarded)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, cs := range cc.Body {
+					tp.stmt(cs, guarded)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, cs := range cc.Body {
+					tp.stmt(cs, guarded)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, cs := range cc.Body {
+					tp.stmt(cs, guarded)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		tp.stmt(s.Stmt, guarded)
+	default:
+		tp.exprs(s, guarded)
+	}
+}
+
+// exprs checks the calls inside one simple statement.
+func (tp *trimPin) exprs(s ast.Stmt, guarded bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name, ok := osUnlinkCall(n); ok && !guarded {
+				tp.pass.Reportf(n.Pos(), "os.%s on a trim path without a Pinned check; retention must never unlink a segment a live follower has pinned", name)
+			}
+		}
+		return true
+	})
+}
+
+// posPinnedCond reports conditions that positively establish the file
+// is pinned: pins.Pinned(f), possibly ||-combined with other skips
+// (`if !ok || pins.Pinned(f) { continue }` guards the rest either
+// way).
+func (tp *trimPin) posPinnedCond(cond ast.Expr) bool {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op.String() == "||" {
+		return tp.posPinnedCond(b.X) || tp.posPinnedCond(b.Y)
+	}
+	return isPinnedCall(cond)
+}
+
+// negPinnedCond reports conditions of the form !pins.Pinned(f),
+// possibly &&-combined with others.
+func (tp *trimPin) negPinnedCond(cond ast.Expr) bool {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok && b.Op.String() == "&&" {
+		return tp.negPinnedCond(b.X) || tp.negPinnedCond(b.Y)
+	}
+	u, ok := cond.(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "!" {
+		return false
+	}
+	return isPinnedCall(ast.Unparen(u.X))
+}
+
+// isPinnedCall matches any method call named Pinned — the pin-set
+// membership test, whatever the receiver is called at the use site.
+func isPinnedCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Pinned"
+}
+
+// osUnlinkCall matches os.Remove / os.RemoveAll and returns the
+// function name.
+func osUnlinkCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Remove" && sel.Sel.Name != "RemoveAll") {
+		return "", false
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || id.Name != "os" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

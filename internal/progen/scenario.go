@@ -384,11 +384,28 @@ func sortPCSet(m map[int32]bool) []int32 {
 	return out
 }
 
+// recordSink tees the chunk stream to the real writer while keeping a
+// copy, so later legs can replay the identical recording through
+// differently-configured stores.
+type recordSink struct {
+	mu     sync.Mutex
+	next   ddg.ChunkSink
+	chunks []ddg.RawChunk
+}
+
+func (rs *recordSink) SpillChunk(ch ddg.RawChunk) {
+	rs.mu.Lock()
+	rs.chunks = append(rs.chunks, ch)
+	rs.mu.Unlock()
+	rs.next.SpillChunk(ch)
+}
+
 // offloaded runs ONTRAC offloaded with an exact (unelided) recording
-// spilled to disk, then compares four views of the same graph: the
+// spilled to disk, then compares five views of the same graph: the
 // in-memory shards, the reopened store.Reader (parallel slicers), the
-// query service over real HTTP, and finally an elided O1+O3 recording
-// sliced through reconstruction.
+// query service over real HTTP, an elided O1+O3 recording sliced
+// through reconstruction, and a replay into a retention-budgeted
+// store trimmed mid-run.
 func (s *scenario) offloaded() {
 	s.tb.Helper()
 	root := s.tb.TempDir()
@@ -399,7 +416,8 @@ func (s *scenario) offloaded() {
 	}
 	m := s.newMachine()
 	off := ontrac.NewOffloaded(s.g.Prog, ontrac.Options{}, pipeline.Options{Workers: 2})
-	off.SpillTo(wr)
+	rec := &recordSink{next: wr}
+	off.SpillTo(rec)
 	s.checkRun("ontrac", m, ontrac.Trace(m, off))
 	if err := wr.Close(); err != nil {
 		s.tb.Fatal(err)
@@ -416,6 +434,7 @@ func (s *scenario) offloaded() {
 	s.served(root, dir)
 	s.elided()
 	s.liveAttached()
+	s.trimmed(rec.chunks)
 }
 
 // served registers the spilled trace and holds the HTTP query service
@@ -519,6 +538,157 @@ func (s *scenario) elided() {
 				s.failf("elided/backward", "tid %d: reconstruction lost pc %d:\nengine %v\noracle %v",
 					tid, wantPC, sortPCSet(back.PCs), sortPCSet(want))
 			}
+		}
+	}
+}
+
+// trimmed replays the exact recording into a store holding a live
+// retention byte budget over tiny segments, so sealing plans,
+// journals, and applies trims mid-run. Slices from each thread's
+// newest recorded instance over the reopened trimmed store must match
+// the oracle's BackwardPCsBounded closure over the surviving window —
+// a dependence reaching below a thread's trimmed floor contributes
+// its PC and stops, exactly like the old ring's eviction truncation.
+// Then the served path registers the same store: a repeated identical
+// query must come back from the result cache (hit flag and counter
+// asserted), and a janitor trim's generation bump must invalidate it,
+// with the recomputed answer matching the re-bounded oracle closure.
+func (s *scenario) trimmed(chunks []ddg.RawChunk) {
+	s.tb.Helper()
+	w := s.want
+	root := s.tb.TempDir()
+	dir := filepath.Join(root, fmt.Sprintf("trim-%d", s.g.Seed))
+	wr, err := store.Create(store.Options{Dir: dir, SegmentBytes: 2 << 10,
+		Retain: store.Retention{MaxBytes: 8 << 10}})
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	for _, ch := range chunks {
+		wr.SpillChunk(ch)
+	}
+	if err := wr.Close(); err != nil {
+		s.tb.Fatal(err)
+	}
+
+	r, err := store.Open(dir, store.ReaderOptions{CacheChunks: 4})
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	defer r.Close()
+
+	// The oracle's truncation bound per thread: the surviving window's
+	// lo, or one past the newest instance when retention evicted the
+	// whole thread (the slicer dead-ends at its criterion the same
+	// way).
+	oracleLows := func(r *store.Reader) map[int]uint64 {
+		lows := make(map[int]uint64)
+		for _, tid := range r.Threads() {
+			lows[tid], _ = r.Window(tid)
+		}
+		for _, tid := range w.RecordedThreads() {
+			if _, ok := lows[tid]; !ok {
+				_, hi := w.RecordedWindow(tid)
+				lows[tid] = hi + 1
+			}
+		}
+		return lows
+	}
+	lows := oracleLows(r)
+	for _, tid := range w.RecordedThreads() {
+		_, hi := w.RecordedWindow(tid)
+		pc, _ := w.NodePC(tid, hi)
+		back := slicing.Backward(r, s.g.Prog,
+			[]slicing.Criterion{{ID: ddg.MakeID(tid, hi), PC: pc}}, slicing.Options{})
+		s.checkPCSet("trimmed/backward", tid, back.PCs, w.BackwardPCsBounded(tid, hi, lows, nil))
+	}
+
+	// Served: dashboard-style repeats hit the result cache; the next
+	// trim's generation bump invalidates it naturally.
+	reg := query.NewRegistry([]string{root}, query.RegistryOptions{CacheChunks: 4})
+	if _, err := reg.Refresh(); err != nil {
+		s.tb.Fatal(err)
+	}
+	defer reg.Close()
+	id := filepath.Base(dir)
+	srv := httptest.NewServer(query.NewServer(reg, query.ServerOptions{MaxConcurrent: 2, Workers: 2}).Handler())
+	defer srv.Close()
+	cl := query.NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	tid := w.RecordedThreads()[0]
+	_, hi := w.RecordedWindow(tid)
+	if _, ok := lows[tid]; ok && lows[tid] > hi {
+		// This thread was fully evicted; its frontier criterion cannot
+		// resolve over the wire (N=0 has no window). Any surviving
+		// thread serves the cache check equally well.
+		for _, cand := range r.Threads() {
+			tid = cand
+			_, hi = w.RecordedWindow(tid)
+			break
+		}
+	}
+	req := &query.SliceRequest{Trace: id, Direction: query.DirBackward,
+		Criteria: []query.Criterion{{TID: tid, N: hi}}}
+	resp1, err := cl.Slice(ctx, req)
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	if resp1.Cached {
+		s.failf("trimmed/http", "first served query claims a cache hit")
+	}
+	if want := w.BackwardPCsBounded(tid, hi, lows, nil); fmt.Sprint(resp1.PCs) != fmt.Sprint(sortPCSet(want)) {
+		s.failf("trimmed/http", "tid %d served trimmed PCs diverged:\nserved %v\noracle %v",
+			tid, resp1.PCs, sortPCSet(want))
+	}
+	resp2, err := cl.Slice(ctx, req)
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	if !resp2.Cached {
+		s.failf("trimmed/http", "repeated identical query missed the result cache")
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	if st.ResultCacheHits < 1 {
+		s.failf("trimmed/http", "stats report %d result-cache hits after a served hit", st.ResultCacheHits)
+	}
+
+	// A janitor trim under a tighter budget: any removal must bump the
+	// generation and drop the cached answer; the recomputation is held
+	// to the re-bounded oracle closure.
+	tr, _ := reg.Get(id)
+	genBefore := tr.Generation()
+	removed, err := reg.TrimTrace(id, store.Retention{MaxBytes: 4 << 10})
+	if err != nil {
+		s.tb.Fatal(err)
+	}
+	if removed > 0 {
+		if tr.Generation() <= genBefore {
+			s.failf("trimmed/http", "trim removed %d segments without bumping the generation", removed)
+		}
+		// A closed-store reader never re-reads the manifest; bound the
+		// oracle against a fresh reader that sees the janitor's trim.
+		r2, err := store.Open(dir, store.ReaderOptions{CacheChunks: 4})
+		if err != nil {
+			s.tb.Fatal(err)
+		}
+		defer r2.Close()
+		lows = oracleLows(r2)
+		if _, ok := lows[tid]; ok && lows[tid] > hi {
+			return // the cached thread itself is gone; nothing left to re-serve
+		}
+		resp3, err := cl.Slice(ctx, req)
+		if err != nil {
+			s.tb.Fatal(err)
+		}
+		if resp3.Cached {
+			s.failf("trimmed/http", "generation bump did not invalidate the result cache")
+		}
+		if want := w.BackwardPCsBounded(tid, hi, lows, nil); fmt.Sprint(resp3.PCs) != fmt.Sprint(sortPCSet(want)) {
+			s.failf("trimmed/http", "tid %d post-trim served PCs diverged:\nserved %v\noracle %v",
+				tid, resp3.PCs, sortPCSet(want))
 		}
 	}
 }

@@ -173,6 +173,12 @@ type SliceResponse struct {
 	// ring's eviction window.
 	Frontier []ThreadWindow `json:"frontier,omitempty"`
 
+	// Cached reports the answer came from the server's result cache
+	// (keyed on trace id + manifest generation + criteria + options),
+	// so no traversal ran. A trim or seal bumps the generation and
+	// naturally invalidates the entry.
+	Cached bool `json:"cached,omitempty"`
+
 	// ChunkLoads is the number of chunk decodes the query charged.
 	ChunkLoads int64 `json:"chunk_loads,omitempty"`
 	// WallMillis is the server-side traversal wall time.
@@ -234,6 +240,14 @@ type ThreadWindow struct {
 	Hi  uint64 `json:"hi"`
 }
 
+// TrimmedWindow is one thread's retention floor: instances below Lo
+// were deleted by retention, and slices that reach them report
+// truncated_at_window exactly like the ring's eviction edge.
+type TrimmedWindow struct {
+	TID int    `json:"tid"`
+	Lo  uint64 `json:"lo"`
+}
+
 // TraceInfo describes one registered trace.
 type TraceInfo struct {
 	ID      string         `json:"id"`
@@ -249,6 +263,10 @@ type TraceInfo struct {
 	// (bumped by the writer on every seal and at close); clients can
 	// diff it to detect structural change cheaply.
 	Generation uint64 `json:"generation,omitempty"`
+	// Trimmed lists per-thread retention floors (sorted by tid) for
+	// stores whose history has been trimmed; each thread's retained
+	// range is the suffix [Lo, window hi].
+	Trimmed []TrimmedWindow `json:"trimmed,omitempty"`
 	// Program is the attached program's name; empty when the trace is
 	// served raw (PCs only, no lines, no provenance).
 	Program string `json:"program,omitempty"`
@@ -270,6 +288,14 @@ type RefreshResponse struct {
 	Traces int `json:"traces"`
 }
 
+// DeleteResponse is DELETE /v1/traces/{id}.
+type DeleteResponse struct {
+	// Deleted is the unregistered trace id.
+	Deleted string `json:"deleted"`
+	// Purged reports the trace directory was also removed from disk.
+	Purged bool `json:"purged,omitempty"`
+}
+
 // StatsResponse is GET /v1/stats.
 type StatsResponse struct {
 	Traces int `json:"traces"`
@@ -279,6 +305,16 @@ type StatsResponse struct {
 	QueriesServed int64 `json:"queries_served"`
 	Rejected      int64 `json:"queries_rejected"`
 	MaxConcurrent int   `json:"max_concurrent"`
+	// OpenReaders counts traces holding an attached reader right now;
+	// EvictedReaders/ReattachedReaders count lifecycle churn (TTL/LRU
+	// evictions and the cold re-attaches queries paid for).
+	OpenReaders       int   `json:"open_readers"`
+	EvictedReaders    int64 `json:"evicted_readers,omitempty"`
+	ReattachedReaders int64 `json:"reattached_readers,omitempty"`
+	// ResultCacheHits/Misses count slice answers served from (and
+	// filled into) the generation-keyed result cache.
+	ResultCacheHits   int64 `json:"result_cache_hits,omitempty"`
+	ResultCacheMisses int64 `json:"result_cache_misses,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

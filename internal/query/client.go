@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 )
 
@@ -93,6 +94,20 @@ func (c *Client) Provenance(ctx context.Context, req *ProvenanceRequest) (*Prove
 	}
 	var resp ProvenanceResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/provenance", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Delete unregisters a trace; purge also removes its directory from
+// disk.
+func (c *Client) Delete(ctx context.Context, id string, purge bool) (*DeleteResponse, error) {
+	path := "/v1/traces/" + url.PathEscape(id)
+	if purge {
+		path += "?purge=1"
+	}
+	var resp DeleteResponse
+	if err := c.do(ctx, http.MethodDelete, path, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

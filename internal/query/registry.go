@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scaldift/internal/ddg"
 	"scaldift/internal/isa"
@@ -30,11 +31,30 @@ type RegistryOptions struct {
 	// final manifest lands. Off, Refresh keeps today's behavior of
 	// skipping directories still being written.
 	Live bool
+	// ReaderTTL evicts a trace's reader (its loaded indexes and
+	// caches, not its registration) after this much idle time; the
+	// next query re-attaches cold. 0 disables TTL eviction.
+	ReaderTTL time.Duration
+	// MaxReaders caps how many cold traces keep an open reader; past
+	// it, EvictCold drops the least-recently-used first. Live traces
+	// never count against the cap and are never evicted. 0 means no
+	// cap.
+	MaxReaders int
 }
 
 // ErrClosed reports an operation against a registry that Close has
 // already torn down.
 var ErrClosed = errors.New("query: registry closed")
+
+// ErrUnknownTrace reports an id the registry has never seen (or has
+// deleted).
+var ErrUnknownTrace = errors.New("query: unknown trace")
+
+// regStats counts reader-lifecycle events across the fleet.
+type regStats struct {
+	evicted    atomic.Int64
+	reattached atomic.Int64
+}
 
 // Registry discovers and holds open store.Readers over a fleet of
 // trace directories. Refresh scans the roots and registers each
@@ -54,7 +74,9 @@ type Registry struct {
 	roots []string
 	opts  RegistryOptions
 
-	refreshMu sync.Mutex // serializes Refresh / PollLive / Close
+	refreshMu sync.Mutex // serializes Refresh / PollLive / EvictCold / lifecycle ops / Close
+
+	stats regStats
 
 	mu     sync.RWMutex
 	closed bool
@@ -62,24 +84,81 @@ type Registry struct {
 	byDir  map[string]string // canonical dir -> assigned trace id
 }
 
-// Trace is one registered trace directory: the open reader plus the
-// metadata the service reports. ID, Dir, and the reader are fixed at
-// registration; the published snapshot (windows, chunk count,
-// liveness, generation) advances under its own lock as PollLive
-// tails a live store. The program attachment swaps in atomically.
+// Trace is one registered trace directory plus the metadata the
+// service reports. ID and Dir are fixed at registration; the
+// published snapshot (windows, chunk count, liveness, generation,
+// trimmed floors) advances under its own lock as PollLive tails a
+// live store or retention trims it. The reader is a cache: eviction
+// drops it (indexes and all) and the next query re-attaches cold
+// through acquire. The program attachment swaps in atomically.
 type Trace struct {
 	ID  string
 	Dir string
 
-	reader *store.Reader
+	stats *regStats
+
+	// rmu guards the reader's lifecycle. A query that acquired the
+	// reader keeps using its own pointer even if eviction drops the
+	// registry's — store.Reader stays queryable after Close (it holds
+	// no fds between calls), so in-flight work is never cut off.
+	rmu        sync.Mutex
+	reader     *store.Reader
+	readerOpts store.ReaderOptions // re-attach options (never follow: only closed traces evict)
+
+	lastUsed atomic.Int64 // unix nanos of the last acquire
 
 	mu         sync.RWMutex
 	live       bool
 	generation uint64
 	threads    []ThreadWindow
 	chunks     int
+	recovered  bool
+	trimmed    []TrimmedWindow
 
 	attached atomic.Pointer[progAttachment]
+}
+
+// acquire returns the trace's reader, re-attaching a cold one, and
+// stamps the LRU clock.
+func (t *Trace) acquire() (*store.Reader, error) {
+	t.lastUsed.Store(time.Now().UnixNano())
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	if t.reader != nil {
+		return t.reader, nil
+	}
+	r, err := store.Open(t.Dir, t.readerOpts)
+	if err != nil {
+		return nil, fmt.Errorf("query: re-attach %s: %w", t.ID, err)
+	}
+	t.reader = r
+	if t.stats != nil {
+		t.stats.reattached.Add(1)
+	}
+	t.refreshSnapshot(r)
+	return r, nil
+}
+
+// currentReader returns the open reader without re-attaching (nil
+// when evicted).
+func (t *Trace) currentReader() *store.Reader {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	return t.reader
+}
+
+// dropReader detaches and closes the trace's reader, reporting
+// whether one was open.
+func (t *Trace) dropReader() bool {
+	t.rmu.Lock()
+	r := t.reader
+	t.reader = nil
+	t.rmu.Unlock()
+	if r == nil {
+		return false
+	}
+	r.Close()
+	return true
 }
 
 // progAttachment pairs a program with its O1 reconstructor.
@@ -194,8 +273,16 @@ func (g *Registry) register(dir, canon, base string) (id string, ok bool, err er
 	}
 	// Load indexes now: queries start against a warm index, and a
 	// live trace's first frontier is published before it is visible.
-	t := &Trace{Dir: dir, reader: r}
-	t.refreshSnapshot()
+	t := &Trace{
+		Dir:   dir,
+		stats: &g.stats,
+		// Re-attach after eviction is always cold: only closed traces
+		// evict, so follow mode never outlives the first reader.
+		readerOpts: store.ReaderOptions{CacheChunks: g.opts.CacheChunks},
+		reader:     r,
+	}
+	t.lastUsed.Store(time.Now().UnixNano())
+	t.refreshSnapshot(r)
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -248,12 +335,16 @@ func (g *Registry) PollLive() (closedIDs []string, err error) {
 
 	var firstErr error
 	for _, t := range live {
-		advanced, perr := t.reader.Poll()
+		r := t.currentReader()
+		if r == nil {
+			continue // live traces are never evicted; defensive
+		}
+		advanced, perr := r.Poll()
 		if perr != nil && firstErr == nil {
 			firstErr = fmt.Errorf("query: poll %s: %w", t.ID, perr)
 		}
 		if advanced {
-			t.refreshSnapshot()
+			t.refreshSnapshot(r)
 		}
 		if !t.Live() {
 			closedIDs = append(closedIDs, t.ID)
@@ -262,6 +353,155 @@ func (g *Registry) PollLive() (closedIDs []string, err error) {
 	sort.Strings(closedIDs)
 	return closedIDs, firstErr
 }
+
+// EvictCold demotes idle cold readers to save index memory and fds:
+// first every reader idle past ReaderTTL, then — if more than
+// MaxReaders remain open — the least-recently-used down to the cap.
+// Live follow-mode traces are exempt on both passes: their pinned
+// tail fds are never force-closed, they simply age into eligibility
+// when the writer closes and the trace goes cold. An evicted trace
+// stays registered and queryable — the next query re-attaches, which
+// is the demote-to-cold-re-attach contract from ROADMAP item 1.
+// Returns the evicted ids, sorted.
+func (g *Registry) EvictCold(now time.Time) []string {
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	if g.isClosed() {
+		return nil
+	}
+	g.mu.RLock()
+	traces := make([]*Trace, 0, len(g.traces))
+	for _, t := range g.traces {
+		traces = append(traces, t)
+	}
+	g.mu.RUnlock()
+
+	type cold struct {
+		t    *Trace
+		used int64
+	}
+	var open []cold
+	for _, t := range traces {
+		if t.Live() || t.currentReader() == nil {
+			continue
+		}
+		open = append(open, cold{t, t.lastUsed.Load()})
+	}
+	var evicted []string
+	evict := func(c cold) {
+		if c.t.dropReader() {
+			g.stats.evicted.Add(1)
+			evicted = append(evicted, c.t.ID)
+		}
+	}
+	if ttl := g.opts.ReaderTTL; ttl > 0 {
+		remaining := open[:0]
+		for _, c := range open {
+			if now.Sub(time.Unix(0, c.used)) > ttl {
+				evict(c)
+			} else {
+				remaining = append(remaining, c)
+			}
+		}
+		open = remaining
+	}
+	if maxOpen := g.opts.MaxReaders; maxOpen > 0 && len(open) > maxOpen {
+		sort.Slice(open, func(i, j int) bool { return open[i].used < open[j].used })
+		for _, c := range open[:len(open)-maxOpen] {
+			evict(c)
+		}
+	}
+	sort.Strings(evicted)
+	return evicted
+}
+
+// TrimTrace applies a retention policy to a closed trace's on-disk
+// store (the janitor path — a live trace's writer owns its own
+// retention and this refuses it), then republishes the snapshot under
+// the store's bumped generation, which naturally invalidates result
+// caches keyed on it.
+func (g *Registry) TrimTrace(id string, ret store.Retention) (removed int, err error) {
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	if g.isClosed() {
+		return 0, ErrClosed
+	}
+	t, ok := g.Get(id)
+	if !ok {
+		return 0, ErrUnknownTrace
+	}
+	if t.Live() {
+		return 0, fmt.Errorf("query: trace %s is still recording; its writer owns retention", id)
+	}
+	removed, err = store.Trim(t.Dir, ret)
+	if err != nil {
+		return 0, err
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	// Swap in a reader over the trimmed store. In-flight queries
+	// finish against the old reader's index; its trimmed segments read
+	// as holes at worst, never as wrong data.
+	t.dropReader()
+	if _, err := t.acquire(); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+// Delete unregisters a trace: it leaves the fleet listing, its reader
+// closes, and — with purge — its directory is removed from disk. The
+// canonical-dir tombstone is kept, so a later Refresh will not
+// resurrect a non-purged directory under the same or a new id.
+func (g *Registry) Delete(id string, purge bool) error {
+	g.refreshMu.Lock()
+	defer g.refreshMu.Unlock()
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	t, ok := g.traces[id]
+	if !ok {
+		g.mu.Unlock()
+		return ErrUnknownTrace
+	}
+	delete(g.traces, id)
+	g.mu.Unlock()
+	t.dropReader()
+	if purge {
+		//scaldift:ignore lockio refreshMu serializes lifecycle ops by design; the query read path never takes it
+		if err := os.RemoveAll(t.Dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenReaders counts traces currently holding an attached reader.
+func (g *Registry) OpenReaders() int {
+	g.mu.RLock()
+	traces := make([]*Trace, 0, len(g.traces))
+	for _, t := range g.traces {
+		traces = append(traces, t)
+	}
+	g.mu.RUnlock()
+	n := 0
+	for _, t := range traces {
+		if t.currentReader() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// EvictedReaders returns how many readers EvictCold has dropped.
+func (g *Registry) EvictedReaders() int64 { return g.stats.evicted.Load() }
+
+// ReattachedReaders returns how many cold re-attaches queries have
+// paid for.
+func (g *Registry) ReattachedReaders() int64 { return g.stats.reattached.Load() }
 
 // LiveCount returns how many registered traces are still recording.
 func (g *Registry) LiveCount() int {
@@ -294,13 +534,10 @@ func (g *Registry) Close() error {
 		traces = append(traces, t)
 	}
 	g.mu.Unlock()
-	var firstErr error
 	for _, t := range traces {
-		if err := t.reader.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		t.dropReader()
 	}
-	return firstErr
+	return nil
 }
 
 func (g *Registry) isClosed() bool {
@@ -358,22 +595,31 @@ func (g *Registry) AttachProgram(id string, p *isa.Program, opts ontrac.Options)
 }
 
 // refreshSnapshot republishes the trace's windows, chunk count,
-// liveness, and generation from the reader. Runs at registration and
-// after every poll that advanced the store.
-func (t *Trace) refreshSnapshot() {
-	chunks := t.reader.Chunks()
+// liveness, generation, recovery flag, and trimmed floors from r.
+// Runs at registration, on cold re-attach, and after every poll that
+// advanced the store.
+func (t *Trace) refreshSnapshot(r *store.Reader) {
+	chunks := r.Chunks()
 	var threads []ThreadWindow
-	for _, tid := range t.reader.Threads() {
-		lo, hi := t.reader.Window(tid)
+	for _, tid := range r.Threads() {
+		lo, hi := r.Window(tid)
 		threads = append(threads, ThreadWindow{TID: tid, Lo: lo, Hi: hi})
 	}
-	live := t.reader.Live()
-	gen := t.reader.Generation()
+	live := r.Live()
+	gen := r.Generation()
+	recovered := r.Recovered()
+	var trimmed []TrimmedWindow
+	for tid, lo := range r.Trimmed() {
+		trimmed = append(trimmed, TrimmedWindow{TID: tid, Lo: lo})
+	}
+	sort.Slice(trimmed, func(i, j int) bool { return trimmed[i].TID < trimmed[j].TID })
 	t.mu.Lock()
 	t.chunks = chunks
 	t.threads = threads
 	t.live = live
 	t.generation = gen
+	t.recovered = recovered
+	t.trimmed = trimmed
 	t.mu.Unlock()
 }
 
@@ -394,7 +640,8 @@ func (t *Trace) Frontier() []ThreadWindow {
 	return append([]ThreadWindow(nil), t.threads...)
 }
 
-// Info reports the trace's registry metadata.
+// Info reports the trace's registry metadata (from the published
+// snapshot — an evicted trace answers without re-attaching).
 func (t *Trace) Info() TraceInfo {
 	t.mu.RLock()
 	info := TraceInfo{
@@ -404,14 +651,24 @@ func (t *Trace) Info() TraceInfo {
 		Chunks:     t.chunks,
 		Live:       t.live,
 		Generation: t.generation,
+		Recovered:  t.recovered,
+		Trimmed:    append([]TrimmedWindow(nil), t.trimmed...),
 	}
 	t.mu.RUnlock()
-	info.Recovered = t.reader.Recovered()
 	if a := t.attached.Load(); a != nil {
 		info.Program = a.prog.Name
 		info.Reconstructing = true
 	}
 	return info
+}
+
+// Generation returns the trace's last published manifest generation.
+// It advances on every seal and trim, so it is the cache-invalidation
+// token for anything derived from the trace's contents.
+func (t *Trace) Generation() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.generation
 }
 
 // Program returns the attached program, if any.
@@ -423,18 +680,22 @@ func (t *Trace) Program() *isa.Program {
 }
 
 // Source builds the ddg.Source one query traverses: the shared
-// reader, viewed through the query's budget (nil = unlimited), with
-// O1 reconstruction composed on top unless raw or no program is
-// attached.
-func (t *Trace) Source(b *store.Budget, raw bool) ddg.Source {
-	var src ddg.Source = t.reader
+// reader (re-attached if evicted), viewed through the query's budget
+// (nil = unlimited), with O1 reconstruction composed on top unless
+// raw or no program is attached.
+func (t *Trace) Source(b *store.Budget, raw bool) (ddg.Source, error) {
+	r, err := t.acquire()
+	if err != nil {
+		return nil, err
+	}
+	var src ddg.Source = r
 	if b != nil {
-		src = t.reader.Budgeted(b)
+		src = r.Budgeted(b)
 	}
 	if a := t.attached.Load(); a != nil && !raw {
-		return a.recon.ReaderOver(src)
+		return a.recon.ReaderOver(src), nil
 	}
-	return src
+	return src, nil
 }
 
 // Window returns the thread's last published range (lo = hi = 0 for

@@ -1,13 +1,17 @@
 package query
 
 import (
+	"container/list"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -34,6 +38,12 @@ type ServerOptions struct {
 	// BudgetChunkLoads is the default per-query chunk-decode budget;
 	// 0 means unlimited unless the request asks for a budget.
 	BudgetChunkLoads int64
+	// ResultCacheEntries bounds the LRU result cache for completed
+	// slice answers, keyed on (trace id, manifest generation, criteria,
+	// options). Dashboard-style repeat queries are served in O(1); any
+	// trim or seal bumps the generation and invalidates naturally.
+	// 0 means the default (256); negative disables caching.
+	ResultCacheEntries int
 	// OnRefresh, when non-nil, runs after every successful POST
 	// /v1/refresh that registered new traces, with their ids — the
 	// same hook a daemon's periodic refresh uses (e.g. attaching
@@ -54,24 +64,149 @@ func (o *ServerOptions) fill() {
 	if o.Workers <= 0 {
 		o.Workers = 8
 	}
+	if o.ResultCacheEntries == 0 {
+		o.ResultCacheEntries = 256
+	}
+}
+
+// resultCache memoizes completed slice responses under an LRU bound.
+// Keys fold in the trace's manifest generation, so entries for a
+// trimmed or newly-sealed store simply stop being reachable — no
+// explicit expiry needed beyond trace deletion.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	items map[string]*list.Element
+	order *list.List // front = most recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key   string
+	trace string
+	resp  *SliceResponse
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{max: max, items: make(map[string]*list.Element), order: list.New()}
+}
+
+// get returns a copy of the cached response for key, if present. A
+// nil cache misses everything (and counts nothing).
+func (c *resultCache) get(key string) *SliceResponse {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	resp := *el.Value.(*cacheEntry).resp
+	return &resp
+}
+
+func (c *resultCache) put(key, trace string, resp *SliceResponse) {
+	if c == nil {
+		return
+	}
+	cp := *resp
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).resp = &cp
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, trace: trace, resp: &cp})
+	for len(c.items) > c.max {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidateTrace drops every entry for a trace id — the DELETE
+// endpoint's hook, so a re-registered trace under the same id can
+// never be answered from its predecessor's results.
+func (c *resultCache) invalidateTrace(trace string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.trace == trace {
+			c.order.Remove(el)
+			delete(c.items, ent.key)
+		}
+		el = next
+	}
+}
+
+// sliceCacheKey hashes everything that determines a slice answer: the
+// trace id, its manifest generation (bumped by every trim and seal),
+// the traversal options, and the resolved criteria. Workers and
+// deadline are deliberately excluded — they shape wall time, not the
+// answer.
+func sliceCacheKey(trace string, gen uint64, req *SliceRequest, crits []slicing.Criterion) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(trace))
+	h.Write([]byte{0})
+	writeU64(gen)
+	h.Write([]byte(req.Direction))
+	h.Write([]byte{0, b2b(req.FollowControl), b2b(req.FollowAnti), b2b(req.Raw)})
+	writeU64(uint64(req.MaxNodes))
+	writeU64(uint64(req.BudgetChunkLoads))
+	for _, c := range crits {
+		writeU64(uint64(c.ID))
+		writeU64(uint64(uint32(c.PC)))
+	}
+	return string(h.Sum(nil))
+}
+
+func b2b(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Server is the HTTP layer over a Registry. Endpoints:
 //
-//	GET  /v1/healthz     liveness
-//	GET  /v1/stats       query counters
-//	GET  /v1/traces      the registered fleet
-//	POST /v1/refresh     rescan roots for newly closed traces
-//	POST /v1/slice       SliceRequest -> SliceResponse
-//	POST /v1/provenance  ProvenanceRequest -> ProvenanceResponse
+//	GET    /v1/healthz      liveness
+//	GET    /v1/stats        query counters
+//	GET    /v1/traces       the registered fleet
+//	DELETE /v1/traces/{id}  unregister a trace (?purge=1 removes its dir)
+//	POST   /v1/refresh      rescan roots for newly closed traces
+//	POST   /v1/slice        SliceRequest -> SliceResponse
+//	POST   /v1/provenance   ProvenanceRequest -> ProvenanceResponse
 //
 // Every query runs under a deadline (cancelling the traversal
 // cooperatively), inside the concurrency limit, against its own
 // chunk-load budget.
 type Server struct {
-	reg  *Registry
-	opts ServerOptions
-	sem  chan struct{}
+	reg   *Registry
+	opts  ServerOptions
+	sem   chan struct{}
+	cache *resultCache
 
 	active   atomic.Int64
 	served   atomic.Int64
@@ -81,7 +216,12 @@ type Server struct {
 // NewServer builds the service over the registry.
 func NewServer(reg *Registry, opts ServerOptions) *Server {
 	opts.fill()
-	return &Server{reg: reg, opts: opts, sem: make(chan struct{}, opts.MaxConcurrent)}
+	return &Server{
+		reg:   reg,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxConcurrent),
+		cache: newResultCache(opts.ResultCacheEntries),
+	}
 }
 
 // Handler returns the service's HTTP handler.
@@ -90,6 +230,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("DELETE /v1/traces/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
 	mux.HandleFunc("POST /v1/slice", s.handleSlice)
 	mux.HandleFunc("POST /v1/provenance", s.handleProvenance)
@@ -120,7 +261,47 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		QueriesServed: s.served.Load(),
 		Rejected:      s.rejected.Load(),
 		MaxConcurrent: s.opts.MaxConcurrent,
+
+		OpenReaders:       s.reg.OpenReaders(),
+		EvictedReaders:    s.reg.EvictedReaders(),
+		ReattachedReaders: s.reg.ReattachedReaders(),
+		ResultCacheHits:   s.cacheHits(),
+		ResultCacheMisses: s.cacheMisses(),
 	})
+}
+
+func (s *Server) cacheHits() int64 {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.hits.Load()
+}
+
+func (s *Server) cacheMisses() int64 {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.misses.Load()
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	purge := r.URL.Query().Get("purge") == "1"
+	if err := s.reg.Delete(id, purge); err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownTrace):
+			writeErr(w, http.StatusNotFound, "unknown trace %q", id)
+		case errors.Is(err, ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, "delete: %v", err)
+		default:
+			writeErr(w, http.StatusInternalServerError, "delete: %v", err)
+		}
+		return
+	}
+	// Stale answers must die with the trace: a future trace registered
+	// under the same id starts from a cold cache.
+	s.cache.invalidateTrace(id)
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: id, Purged: purge})
 }
 
 func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
@@ -240,10 +421,27 @@ func (s *Server) runSlice(ctx context.Context, req *SliceRequest) (*SliceRespons
 	// poll lands mid-query.
 	live := t.Live()
 	frontier := t.Frontier()
-	src := t.Source(budget, req.Raw)
+	src, err := t.Source(budget, req.Raw)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
 	crits, err := resolveCriteria(frontier, src, req.Criteria)
 	if err != nil {
 		return nil, http.StatusUnprocessableEntity, err
+	}
+
+	// A closed trace's answer is fully determined by the manifest
+	// generation plus the resolved request, so repeat queries hit the
+	// result cache; live traces advance between polls without a
+	// generation bump, so they always recompute.
+	var key string
+	if !live {
+		key = sliceCacheKey(req.Trace, t.Generation(), req, crits)
+		if resp := s.cache.get(key); resp != nil {
+			resp.Cached = true
+			s.served.Add(1)
+			return resp, http.StatusOK, nil
+		}
 	}
 	workers := s.opts.Workers
 	if req.Workers > 0 {
@@ -294,6 +492,11 @@ func (s *Server) runSlice(ctx context.Context, req *SliceRequest) (*SliceRespons
 		for tid, busy := range sl.ShardBusy {
 			resp.ShardBusyMillis[strconv.Itoa(tid)] = float64(busy) / float64(time.Millisecond)
 		}
+	}
+	// Only complete answers are worth memoizing: an interrupted or
+	// budget-starved traversal would replay its partiality forever.
+	if key != "" && !resp.Interrupted && !resp.BudgetExhausted {
+		s.cache.put(key, req.Trace, resp)
 	}
 	return resp, http.StatusOK, nil
 }

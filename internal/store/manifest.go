@@ -23,6 +23,24 @@ type manifestSeg struct {
 	FirstSeq uint64 `json:"first_seq"`
 	LastSeq  uint64 `json:"last_seq"`
 	Bytes    int64  `json:"bytes"`
+	// SealedAt is the seal wall-clock time (unix seconds); age-based
+	// retention keys off it. Zero on unsealed entries and on stores
+	// written before retention existed (which MaxAge then never trims).
+	SealedAt int64 `json:"sealed_at,omitempty"`
+}
+
+// manifestTrim records, per thread, what retention has deleted: every
+// segment file with seq < MinSeq is gone (readers must not adopt a
+// stray with a smaller seq — it is a crash orphan awaiting unlink),
+// and every instance below Lo may be gone (slicers report hitting Lo
+// exactly like the old ring's window edge). Chunks/Bytes accumulate
+// across trims for observability.
+type manifestTrim struct {
+	TID    int    `json:"tid"`
+	MinSeq int    `json:"min_seq"`
+	Lo     uint64 `json:"lo"`
+	Chunks int    `json:"chunks"`
+	Bytes  int64  `json:"bytes"`
 }
 
 // manifest is the store's root metadata document, in the
@@ -37,6 +55,10 @@ type manifest struct {
 	// diffing the segment list.
 	Generation uint64        `json:"generation,omitempty"`
 	Segments   []manifestSeg `json:"segments"`
+	// Trimmed holds the per-thread retention records, sorted by TID.
+	// Generation is bumped on every trim, so a follower that sees the
+	// same generation may assume Trimmed is unchanged too.
+	Trimmed []manifestTrim `json:"trimmed,omitempty"`
 }
 
 // writeManifest atomically replaces dir's manifest (temp file +

@@ -28,6 +28,12 @@ type ReaderOptions struct {
 	// prefix of each thread's stream that has durably landed — rather
 	// than the whole recorded range.
 	Follow bool
+	// Pins, when shared with the writer's Retention, advertises which
+	// segment file this follower currently holds an open tail fd for,
+	// so retention never unlinks it out from under the scan. Only
+	// meaningful in follow mode; nil is fine for stores without
+	// retention.
+	Pins *PinSet
 }
 
 // Reader reopens a store directory as a ddg.Source. Opening reads
@@ -63,7 +69,8 @@ type Reader struct {
 	live       bool
 	generation uint64
 	recovered  bool
-	err        error // first unexpected I/O error (not crash damage)
+	trimLo     map[int]uint64 // per-tid retention floor from the manifest
+	err        error          // first unexpected I/O error (not crash damage)
 
 	tailScanned atomic.Int64 // bytes read by incremental tail scans
 }
@@ -80,14 +87,44 @@ type threadState struct {
 	chunks    []tChunk // across segments, ascending baseN
 	cache     map[int]map[uint64][]ddg.Dep
 	fifo      []int
+	// Negative entries (structurally damaged chunks) live in their own
+	// bounded set so a burst of damage can never FIFO-evict healthy
+	// decoded chunks out of cache.
+	neg     map[int]bool
+	negFifo []int
+	// epoch fences in-flight chunk loads across index rewrites: a
+	// retention prune rewrites ts.chunks, so a loader that released
+	// ts.mu before the prune must not cache its result under a stale
+	// index.
+	epoch int
+	// Follow mode caches the open tail segment's fd across polls (and
+	// pins its file against retention) instead of reopening it once per
+	// poll; closed again the moment the segment completes or the store
+	// flips live→closed, so a non-live reader is always fd-free
+	// between calls.
+	tailF    *os.File
+	tailFile string // basename pinned in ReaderOptions.Pins
+}
+
+// closeTail drops the cached tail fd and its retention pin, if any
+// (ts.mu held).
+func (ts *threadState) closeTail(pins *PinSet) {
+	if ts.tailF == nil {
+		return
+	}
+	ts.tailF.Close()
+	ts.tailF = nil
+	pins.Unpin(ts.tailFile)
+	ts.tailFile = ""
 }
 
 // readerSeg is one segment file of a thread.
 type readerSeg struct {
-	path   string
-	file   string // basename
-	seq    int    // per-thread creation index from the filename
-	sealed bool   // manifest says sealed (footer expected)
+	path    string
+	file    string // basename
+	seq     int    // per-thread creation index from the filename
+	sealed  bool   // manifest says sealed (footer expected)
+	trimmed bool   // retention deleted it; skip, don't treat as crash loss
 }
 
 // tChunk locates one chunk for a thread.
@@ -120,6 +157,12 @@ func Open(dir string, opts ReaderOptions) (*Reader, error) {
 		known:      make(map[string]bool),
 		live:       opts.Follow && !man.Closed,
 		generation: man.Generation,
+		trimLo:     make(map[int]uint64),
+	}
+	minSeq := make(map[int]int)
+	for _, tr := range man.Trimmed {
+		minSeq[tr.TID] = tr.MinSeq
+		r.trimLo[tr.TID] = tr.Lo
 	}
 	addSeg := func(tid, seq int, file string, sealed bool) {
 		ts, ok := r.threads[tid]
@@ -157,6 +200,13 @@ func Open(dir string, opts ReaderOptions) (*Reader, error) {
 		}
 		if tid, seq, ok := parseSegName(name); ok {
 			r.known[name] = true
+			if seq < minSeq[tid] {
+				// A stray below the thread's trim floor is a crash
+				// orphan: retention journaled its deletion in the
+				// manifest but died before the unlink. Its chunks are
+				// officially trimmed — adopting it would resurrect them.
+				continue
+			}
 			addSeg(tid, seq, name, false)
 		}
 	}
@@ -183,9 +233,46 @@ func parseSegName(name string) (tid, seq int, ok bool) {
 	return tid, seq, tid >= 0 && seq >= 0
 }
 
-// Close is a no-op today (the reader holds no file handles between
-// calls); it exists so callers can treat Reader as a resource.
-func (r *Reader) Close() error { return nil }
+// Close releases any cached tail fds (follow mode holds one per
+// thread while the store is live) and their retention pins. A
+// non-follow reader holds no handles between calls, so Close is then
+// a no-op; either way the reader stays usable for queries afterwards
+// (the next access reopens what it needs).
+func (r *Reader) Close() error {
+	for _, ts := range r.allThreads() {
+		ts.mu.Lock()
+		ts.closeTail(r.opts.Pins)
+		ts.mu.Unlock()
+	}
+	return nil
+}
+
+// TrimmedLo returns tid's retention floor: every instance below it
+// may have been deleted by retention, so a slice that walks past the
+// floor reports truncation exactly like the old in-memory ring did at
+// its window edge. ok is false when the thread has never been
+// trimmed.
+func (r *Reader) TrimmedLo(tid int) (lo uint64, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lo, ok = r.trimLo[tid]
+	return lo, ok
+}
+
+// Trimmed returns a copy of every thread's retention floor (empty
+// when the store has never been trimmed).
+func (r *Reader) Trimmed() map[int]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.trimLo) == 0 {
+		return nil
+	}
+	out := make(map[int]uint64, len(r.trimLo))
+	for tid, lo := range r.trimLo {
+		out[tid] = lo
+	}
+	return out
+}
 
 // Recovered reports whether any segment accessed so far was truncated
 // or corrupt and served a recovered prefix instead of its full index.
@@ -297,6 +384,10 @@ func (r *Reader) Poll() (advanced bool, err error) {
 			sealedNow[ms.File] = true
 		}
 	}
+	minSeq := make(map[int]int)
+	for _, tr := range man.Trimmed {
+		minSeq[tr.TID] = tr.MinSeq
+	}
 
 	// Adopt newly appeared segments (manifest-listed and strays).
 	// The writer names segments with monotonically increasing
@@ -328,6 +419,9 @@ func (r *Reader) Poll() (advanced bool, err error) {
 		}
 		if tid, seq, ok := parseSegName(name); ok {
 			r.known[name] = true
+			if seq < minSeq[tid] {
+				continue // trim orphan awaiting unlink, not new data
+			}
 			fresh = append(fresh, newSeg{tid, seq, name, false})
 		}
 	}
@@ -349,6 +443,11 @@ func (r *Reader) Poll() (advanced bool, err error) {
 	nowLive := !man.Closed
 	r.live = nowLive
 	r.generation = man.Generation
+	for _, tr := range man.Trimmed {
+		if tr.Lo > r.trimLo[tr.TID] {
+			r.trimLo[tr.TID] = tr.Lo
+		}
+	}
 	states := make([]*threadState, 0, len(r.tids))
 	for _, tid := range r.tids {
 		states = append(states, r.threads[tid])
@@ -370,6 +469,9 @@ func (r *Reader) Poll() (advanced bool, err error) {
 				ts.segs[i].sealed = true
 			}
 		}
+		if ts.pruneTrimmed(minSeq[ts.tid]) {
+			advanced = true // the window's lo edge moved up
+		}
 		before := len(ts.chunks)
 		if !ts.loaded {
 			r.ensureLoaded(ts)
@@ -387,6 +489,41 @@ func (r *Reader) Poll() (advanced bool, err error) {
 	return advanced, nil
 }
 
+// pruneTrimmed drops segments below the thread's trim floor (ts.mu
+// held): retention deleted their files, so their indexed chunks must
+// leave the window rather than resurface as crash loss on the next
+// read. Rewriting ts.chunks shifts every cache index, so both caches
+// are dropped wholesale and the epoch fences out in-flight loaders.
+func (ts *threadState) pruneTrimmed(minSeq int) (pruned bool) {
+	if minSeq <= 0 {
+		return false
+	}
+	for i := range ts.segs {
+		if ts.segs[i].seq < minSeq && !ts.segs[i].trimmed {
+			ts.segs[i].trimmed = true
+			pruned = true
+		}
+	}
+	if !pruned || !ts.loaded {
+		return pruned
+	}
+	kept := ts.chunks[:0]
+	for _, tc := range ts.chunks {
+		if !ts.segs[tc.seg].trimmed {
+			kept = append(kept, tc)
+		}
+	}
+	if len(kept) != len(ts.chunks) {
+		ts.chunks = kept
+		ts.cache = make(map[int]map[uint64][]ddg.Dep)
+		ts.fifo = nil
+		ts.neg = make(map[int]bool)
+		ts.negFifo = nil
+		ts.epoch++
+	}
+	return pruned
+}
+
 // ensureLoaded builds the thread's chunk index on first access
 // (ts.mu held).
 func (r *Reader) ensureLoaded(ts *threadState) {
@@ -395,6 +532,7 @@ func (r *Reader) ensureLoaded(ts *threadState) {
 	}
 	ts.loaded = true
 	ts.cache = make(map[int]map[uint64][]ddg.Dep, r.opts.CacheChunks)
+	ts.neg = make(map[int]bool)
 	r.advanceThread(ts, r.isLive())
 }
 
@@ -405,28 +543,56 @@ func (r *Reader) ensureLoaded(ts *threadState) {
 // live, an incomplete tail record means "still being written" and
 // the scan simply stops at the frontier; without it, the same bytes
 // are crash damage and the thread recovers its valid prefix.
+//
+// In follow mode the open tail's fd is kept (and its file pinned
+// against retention) between polls instead of reopened every time;
+// the moment the segment completes — it seals, its scan finishes, or
+// the store flips live→closed — the fd is closed, so only a live
+// frontier ever holds descriptors.
 func (r *Reader) advanceThread(ts *threadState, live bool) {
 	for ts.nextSeg < len(ts.segs) {
 		seg := &ts.segs[ts.nextSeg]
-		f, err := os.Open(seg.path)
-		if err != nil {
-			// A missing segment is crash loss (only its own chunks are
-			// gone); anything else is a real I/O problem worth
-			// surfacing, not silently serving a partial graph.
-			if os.IsNotExist(err) {
-				r.markRecovered()
-			} else {
-				r.markErr(err)
-			}
+		if seg.trimmed {
+			// Retention deleted this segment (or is about to; the
+			// manifest already journaled it). Not crash loss: its
+			// chunks are officially below the trim floor.
+			ts.closeTail(r.opts.Pins)
 			ts.finishSeg()
 			continue
+		}
+		var f *os.File
+		if ts.tailF != nil && ts.tailFile == seg.file {
+			f = ts.tailF // resume the cached tail fd
+		} else {
+			ts.closeTail(r.opts.Pins)
+			var err error
+			f, err = os.Open(seg.path)
+			if err != nil {
+				// A missing segment is crash loss (only its own chunks
+				// are gone); anything else is a real I/O problem worth
+				// surfacing, not silently serving a partial graph.
+				if os.IsNotExist(err) {
+					r.markRecovered()
+				} else {
+					r.markErr(err)
+				}
+				ts.finishSeg()
+				continue
+			}
+		}
+		closeF := func() {
+			if f == ts.tailF {
+				ts.closeTail(r.opts.Pins)
+			} else {
+				f.Close()
+			}
 		}
 		if seg.sealed {
 			// Footer fast path. A partially scanned tail that sealed
 			// between polls lands here too: the footer lists every
 			// chunk, so only the suffix past segChunks is new.
 			if metas, ok := readFooterIndex(f); ok {
-				f.Close()
+				closeF()
 				if ts.segChunks < len(metas) {
 					ts.appendChunks(metas[ts.segChunks:])
 				}
@@ -436,29 +602,41 @@ func (r *Reader) advanceThread(ts *threadState, live bool) {
 			r.markRecovered() // promised footer is gone/corrupt
 		}
 		metas, newOff, scanned, status := scanSegmentFrom(f, ts.segOff)
-		f.Close()
 		r.tailScanned.Add(scanned)
 		ts.appendChunks(metas)
 		ts.segOff = newOff
 		switch status {
 		case scanDone:
+			closeF()
 			ts.finishSeg()
 		case scanBoundary, scanPartial:
 			if live && !seg.sealed {
 				// The frontier: everything up to segOff is served; the
 				// rest is still in flight. Later segments of this
-				// thread cannot hold earlier instances, so stop here.
+				// thread cannot hold earlier instances, so stop here —
+				// and keep the fd for the next poll's incremental scan.
+				if ts.tailF == nil {
+					ts.tailF = f
+					ts.tailFile = seg.file
+					r.opts.Pins.Pin(seg.file)
+				}
 				return
 			}
+			closeF()
 			if status == scanPartial {
 				r.markRecovered() // torn record: crash prefix
 			}
 			ts.finishSeg()
 		case scanDamage:
+			closeF()
 			r.markRecovered()
 			ts.finishSeg()
 		}
 	}
+	// Every segment is fully indexed (the usual way here is the poll
+	// that observed the writer's close): nothing is in flight, so the
+	// thread must be fd-free again.
+	ts.closeTail(r.opts.Pins)
 }
 
 // appendChunks adopts freshly indexed chunks of segs[nextSeg]
@@ -654,7 +832,9 @@ func readChunk(path string, tid int, tc tChunk) (map[uint64][]ddg.Dep, error) {
 }
 
 // cachePut inserts a decoded chunk (ts.mu held), evicting FIFO past
-// the bound.
+// the bound. Only healthy decoded chunks go here — negative entries
+// have their own bounded set (putNegative), so damage bursts cannot
+// crowd hot data out of the decode cache.
 func (ts *threadState) cachePut(idx int, m map[uint64][]ddg.Dep, bound int) {
 	if len(ts.fifo) >= bound {
 		old := ts.fifo[0]
@@ -665,16 +845,28 @@ func (ts *threadState) cachePut(idx int, m map[uint64][]ddg.Dep, bound int) {
 	ts.fifo = append(ts.fifo, idx)
 }
 
-// putNegative records a negative (nil) entry for a chunk whose payload
-// is structurally damaged (ts.mu held). This is the ONLY sanctioned
-// way to make a chunk invisible: callers must first classify the load
-// error with errors.Is(err, errDamage) — the stickyerr analyzer
-// enforces it — because negative-caching a transient failure (a short
-// read racing an in-flight append, a momentary open error) would keep
-// serving a hole for the chunk's whole instance range after the writer
-// completes it.
+// putNegative records a negative entry for a chunk whose payload is
+// structurally damaged (ts.mu held). Negatives are bounded separately
+// from the decode cache: a negative costs a map slot, not a decoded
+// chunk's worth of memory, and sharing the FIFO used to let a burst
+// of damaged-chunk probes evict every healthy hot chunk. This is the
+// ONLY sanctioned way to make a chunk invisible: callers must first
+// classify the load error with errors.Is(err, errDamage) — the
+// stickyerr analyzer enforces it — because negative-caching a
+// transient failure (a short read racing an in-flight append, a
+// momentary open error) would keep serving a hole for the chunk's
+// whole instance range after the writer completes it.
 func (ts *threadState) putNegative(idx int, bound int) {
-	ts.cachePut(idx, nil, bound)
+	if ts.neg[idx] {
+		return
+	}
+	if len(ts.negFifo) >= bound {
+		old := ts.negFifo[0]
+		ts.negFifo = ts.negFifo[1:]
+		delete(ts.neg, old)
+	}
+	ts.neg[idx] = true
+	ts.negFifo = append(ts.negFifo, idx)
 }
 
 // findChunk locates the chunk holding instance n (ts.mu held, index
@@ -750,9 +942,16 @@ func (r *Reader) depsAt(id ddg.ID, budget *Budget) []ddg.Dep {
 		ts.mu.Unlock()
 		return m[id.N()]
 	}
-	// Cache miss: snapshot what the load needs (indexed segs and
-	// chunks are never mutated, only appended to) and decode outside
-	// the lock.
+	if ts.neg[idx] {
+		ts.mu.Unlock()
+		return nil // known-damaged chunk
+	}
+	// Cache miss: snapshot what the load needs and decode outside the
+	// lock. Indexed segs and chunks only ever append — except when a
+	// retention prune rewrites them, which bumps ts.epoch; the epoch
+	// check on re-lock keeps this loader from caching under an index
+	// that moved underneath it.
+	epoch := ts.epoch
 	tc := ts.chunks[idx]
 	path := ts.segs[tc.seg].path
 	ts.mu.Unlock()
@@ -784,22 +983,26 @@ func (r *Reader) depsAt(id ddg.ID, budget *Budget) []ddg.Dep {
 		// re-read, and re-CRC it once per query.
 		r.markRecovered()
 		ts.mu.Lock()
-		if prev, ok := ts.cache[idx]; ok {
-			// Another loader raced us in: serve its entry rather than
-			// overwriting it.
-			deps := prev[id.N()]
-			ts.mu.Unlock()
-			return deps
+		if ts.epoch == epoch {
+			if prev, ok := ts.cache[idx]; ok {
+				// Another loader raced us in: serve its entry rather
+				// than overwriting it.
+				deps := prev[id.N()]
+				ts.mu.Unlock()
+				return deps
+			}
+			ts.putNegative(idx, r.opts.CacheChunks)
 		}
-		ts.putNegative(idx, r.opts.CacheChunks)
 		ts.mu.Unlock()
 		return nil
 	}
 	ts.mu.Lock()
-	if prev, ok := ts.cache[idx]; ok {
-		m = prev // another loader won the race: serve its copy
-	} else {
-		ts.cachePut(idx, m, r.opts.CacheChunks)
+	if ts.epoch == epoch {
+		if prev, ok := ts.cache[idx]; ok {
+			m = prev // another loader won the race: serve its copy
+		} else {
+			ts.cachePut(idx, m, r.opts.CacheChunks)
+		}
 	}
 	ts.mu.Unlock()
 	return m[id.N()]

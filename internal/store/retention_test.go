@@ -1,0 +1,617 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"scaldift/internal/ddg"
+)
+
+// Retention suite: byte/age budgets delete whole sealed segments
+// oldest-first, the manifest journals the trimmed window BEFORE any
+// unlink (Sia persist style), readers report the trim floor exactly
+// like the old ring reported its window edge, and pinned segments are
+// never unlinked.
+
+// checkTrimmedWindows asserts r serves exactly the model's deps over
+// each surviving window, that surviving windows are a suffix [lo, hi]
+// of the recorded range, and that lo sits at the manifest's trim
+// floor. Returns the number of instances verified.
+func checkTrimmedWindows(t *testing.T, model *ddg.Full, r *Reader) int {
+	t.Helper()
+	verified := 0
+	survivors := make(map[int]bool)
+	for _, tid := range r.Threads() {
+		survivors[tid] = true
+	}
+	for _, tid := range model.Threads() {
+		mlo, mhi := model.Window(tid)
+		if !survivors[tid] {
+			// Fully trimmed: the floor must cover the whole recorded
+			// range, else the reader lost data retention never deleted.
+			if lo, ok := r.TrimmedLo(tid); !ok || lo <= mhi {
+				t.Fatalf("tid %d served nothing but trim floor is (%d,%v), recorded [%d,%d]", tid, lo, ok, mlo, mhi)
+			}
+			continue
+		}
+		lo, hi := r.Window(tid)
+		if hi != mhi {
+			t.Fatalf("tid %d window hi %d, want %d (trim must only eat the oldest prefix)", tid, hi, mhi)
+		}
+		if tlo, ok := r.TrimmedLo(tid); ok {
+			if lo != tlo {
+				t.Fatalf("tid %d window lo %d, manifest trim floor %d", tid, lo, tlo)
+			}
+		} else if lo != mlo {
+			t.Fatalf("tid %d window lo %d with no trim record, want %d", tid, lo, mlo)
+		}
+		for n := lo; n <= hi; n++ {
+			id := ddg.MakeID(tid, n)
+			want := ddg.CountDeps(model, id)
+			got := ddg.CountDeps(r, id)
+			if len(want) != len(got) {
+				t.Fatalf("deps of %v: model %d, got %d", id, len(want), len(got))
+			}
+			verified++
+		}
+	}
+	return verified
+}
+
+// segFiles lists the .seg basenames currently on disk.
+func segFiles(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			out[e.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestStoreRetentionByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	const budget = 8 << 10
+	w, err := Create(Options{Dir: dir, SegmentBytes: 2048, Retain: Retention{MaxBytes: budget}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ddg.NewShardedSized(0, 256)
+	c.SetSpill(w)
+	model := appendSynthetic(c, 3, 400)
+	c.Flush()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.SegmentsTrimmed() == 0 {
+		t.Fatal("store stayed under an 8KB budget — scenario needs more data")
+	}
+
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, ms := range man.Segments {
+		total += ms.Bytes
+	}
+	if total > budget {
+		t.Fatalf("closed store holds %d bytes over the %d budget", total, budget)
+	}
+	if len(man.Trimmed) == 0 {
+		t.Fatal("manifest has no trimmed-window records")
+	}
+	// Disk and manifest agree exactly: every listed file present, no
+	// orphans left behind.
+	onDisk := segFiles(t, dir)
+	for _, ms := range man.Segments {
+		if !onDisk[ms.File] {
+			t.Fatalf("manifest lists %s but it is not on disk", ms.File)
+		}
+		delete(onDisk, ms.File)
+	}
+	for name := range onDisk {
+		t.Fatalf("orphan segment %s on disk after clean close", name)
+	}
+
+	r, err := Open(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Recovered() {
+		t.Fatal("trimmed store read as crash recovery")
+	}
+	if n := checkTrimmedWindows(t, model, r); n == 0 {
+		t.Fatal("nothing survived the trim — budget too tight to test the surviving window")
+	}
+	if len(r.Trimmed()) == 0 {
+		t.Fatal("reader did not surface the trimmed windows")
+	}
+}
+
+func TestStoreRetentionAge(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(Options{Dir: dir, SegmentBytes: 1024, Retain: Retention{MaxAge: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	w.now = func() time.Time { return base }
+	c := ddg.NewShardedSized(0, 128)
+	c.SetSpill(w)
+	model := ddg.NewFull()
+	appendPhase(c, model, 2, 1, 300)
+	c.Flush()
+	man0, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agedSeals := len(man0.Segments) // published manifests list sealed only
+	if agedSeals == 0 {
+		t.Fatal("phase 1 sealed nothing — nothing can age out")
+	}
+
+	// Two hours pass; everything sealed in phase 1 is now beyond
+	// MaxAge, everything sealed from here on is fresh.
+	w.now = func() time.Time { return base.Add(2 * time.Hour) }
+	appendPhase(c, model, 2, 301, 600)
+	c.Flush()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SegmentsTrimmed(); got != uint64(agedSeals) {
+		t.Fatalf("trimmed %d segments, want the %d sealed before the clock jump", got, agedSeals)
+	}
+
+	r, err := Open(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	trimmedSomething := false
+	for tid := 0; tid < 2; tid++ {
+		if lo, ok := r.TrimmedLo(tid); ok && lo > 1 {
+			trimmedSomething = true
+		}
+	}
+	if !trimmedSomething {
+		t.Fatal("age trim left every window starting at 1")
+	}
+	checkTrimmedWindows(t, model, r)
+}
+
+func TestStoreTrimClosedStore(t *testing.T) {
+	dir := t.TempDir()
+	model := spillAll(t, dir, Options{SegmentBytes: 2048}, 2, 400, 256)
+	man0, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := Trim(dir, Retention{MaxBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("janitor trim removed nothing")
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Generation <= man0.Generation {
+		t.Fatalf("trim did not bump generation: %d -> %d", man0.Generation, man.Generation)
+	}
+	if !man.Closed {
+		t.Fatal("trim un-closed the store")
+	}
+
+	r, err := Open(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Recovered() {
+		t.Fatal("trimmed store read as crash recovery")
+	}
+	checkTrimmedWindows(t, model, r)
+
+	// Idempotent: the store is under budget now.
+	if again, err := Trim(dir, Retention{MaxBytes: 4 << 10}); err != nil || again != 0 {
+		t.Fatalf("second trim = (%d, %v), want (0, nil)", again, err)
+	}
+
+	// Trimming a live store is the writer's job, not the janitor's.
+	liveDir := t.TempDir()
+	lw, err := Create(Options{Dir: liveDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lw.Close()
+	if _, err := Trim(liveDir, Retention{MaxBytes: 1}); err == nil {
+		t.Fatal("Trim accepted a store whose writer has not closed")
+	}
+}
+
+func TestStoreRetentionSkipsPinnedSegments(t *testing.T) {
+	dir := t.TempDir()
+	spillAll(t, dir, Options{SegmentBytes: 1024}, 1, 800, 128)
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) < 3 {
+		t.Fatal("need several segments")
+	}
+	oldest := man.Segments[0].File
+
+	// A pin on the oldest segment blocks the whole thread (trims are
+	// prefix-only: deleting around a pin would punch a hole in the
+	// retained range).
+	pins := NewPinSet()
+	pins.Pin(oldest)
+	removed, err := Trim(dir, Retention{MaxBytes: 2048, Pins: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("trim removed %d segments around a pinned prefix", removed)
+	}
+	if !segFiles(t, dir)[oldest] {
+		t.Fatal("pinned segment unlinked")
+	}
+
+	// Unpinned, the same policy trims.
+	pins.Unpin(oldest)
+	removed, err = Trim(dir, Retention{MaxBytes: 2048, Pins: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("unpinned trim removed nothing")
+	}
+	if segFiles(t, dir)[oldest] {
+		t.Fatal("oldest segment survived an unpinned trim")
+	}
+}
+
+// TestStoreRetentionUnlinkRechecksPins covers the plan→unlink race:
+// a pin that lands after victim selection must still keep its file on
+// disk (the manifest no longer lists it, which is fine — the reader
+// skips it as a trim orphan and a later sweep reclaims it).
+func TestStoreRetentionUnlinkRechecksPins(t *testing.T) {
+	dir := t.TempDir()
+	spillAll(t, dir, Options{SegmentBytes: 1024}, 1, 800, 128)
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := planTrim(man, Retention{MaxBytes: 2048}, time.Now())
+	if len(victims) < 2 {
+		t.Fatal("need at least two victims")
+	}
+	segs := applyTrim(man, victims)
+
+	pins := NewPinSet()
+	pins.Pin(segs[0].File) // the race: pinned after planning
+	unlinkTrimmed(dir, segs, pins)
+
+	onDisk := segFiles(t, dir)
+	if !onDisk[segs[0].File] {
+		t.Fatal("segment pinned between plan and unlink was deleted anyway")
+	}
+	for _, ms := range segs[1:] {
+		if onDisk[ms.File] {
+			t.Fatalf("unpinned victim %s survived", ms.File)
+		}
+	}
+}
+
+// TestStoreRetentionCrashBeforeUnlink is the retention crash suite:
+// the trim journals its manifest rewrite first and dies before any
+// unlink. Reopening must serve a manifest-consistent prefix — the
+// orphaned files are invisible, the trimmed window is reported, and
+// nothing reads as crash damage. A later janitor pass sweeps the
+// orphans.
+func TestStoreRetentionCrashBeforeUnlink(t *testing.T) {
+	dir := t.TempDir()
+	model := spillAll(t, dir, Options{SegmentBytes: 2048}, 2, 400, 256)
+
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := planTrim(man, Retention{MaxBytes: 4 << 10}, time.Now())
+	if len(victims) == 0 {
+		t.Fatal("nothing to trim")
+	}
+	orphans := applyTrim(man, victims)
+	man.Generation++
+	if err := writeManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": unlinkTrimmed never runs. The deleted-from-manifest
+	// files are all still on disk.
+	onDisk := segFiles(t, dir)
+	for _, ms := range orphans {
+		if !onDisk[ms.File] {
+			t.Fatalf("test setup: %s should still exist", ms.File)
+		}
+	}
+
+	r, err := Open(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recovered() {
+		t.Fatal("trim orphans misread as crash damage")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trimmed()) == 0 {
+		t.Fatal("reopen lost the trimmed-window records")
+	}
+	checkTrimmedWindows(t, model, r)
+	r.Close()
+
+	// The janitor reclaims the orphans even though the current state
+	// needs no further trimming.
+	removed, err := Trim(dir, Retention{MaxBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("sweep re-trimmed %d live segments", removed)
+	}
+	onDisk = segFiles(t, dir)
+	for _, ms := range orphans {
+		if onDisk[ms.File] {
+			t.Fatalf("orphan %s not swept", ms.File)
+		}
+	}
+}
+
+func TestStoreLiveFollowAcrossTrim(t *testing.T) {
+	dir := t.TempDir()
+	pins := NewPinSet()
+	w, err := Create(Options{Dir: dir, SegmentBytes: 1024, Retain: Retention{MaxBytes: 4 << 10, Pins: pins}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ddg.NewShardedSized(0, 128)
+	c.SetSpill(w)
+	model := ddg.NewFull()
+	const threads = 2
+	appendPhase(c, model, threads, 1, 100)
+	c.Flush()
+
+	r, err := Open(dir, ReaderOptions{Follow: true, Pins: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gen := r.Generation()
+
+	lo := uint64(101)
+	for _, hi := range []uint64{400, 800, 1200} {
+		appendPhase(c, model, threads, lo, hi)
+		c.Flush()
+		lo = hi + 1
+		if _, err := r.Poll(); err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		if g := r.Generation(); g < gen {
+			t.Fatalf("generation went backwards: %d -> %d", gen, g)
+		} else {
+			gen = g
+		}
+	}
+	if w.SegmentsTrimmed() == 0 {
+		t.Fatal("live run never trimmed — scenario needs more data")
+	}
+	// The follower must have picked the trims up mid-run: its windows
+	// start at the trim floor, not at 1.
+	floored := false
+	for tid := 0; tid < threads; tid++ {
+		wlo, whi := r.Window(tid)
+		if wlo > 1 && whi >= wlo {
+			floored = true
+		}
+	}
+	if !floored {
+		t.Fatal("follower windows never moved off instance 1 despite trims")
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Poll(); err != nil {
+		t.Fatalf("poll after close: %v", err)
+	}
+	if r.Live() {
+		t.Fatal("still live after final manifest")
+	}
+	if r.Recovered() {
+		t.Fatal("trimmed live run read as recovery")
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if pins.Len() != 0 {
+		t.Fatalf("%d pins leaked after the live→closed flip", pins.Len())
+	}
+	if n := checkTrimmedWindows(t, model, r); n == 0 {
+		t.Fatal("nothing survived to verify")
+	}
+}
+
+// countFDs returns this process's open descriptor count.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	entries, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd: %v", err)
+	}
+	return len(entries)
+}
+
+// TestStoreFollowerClosesTailFDsOnFlip is the fd-pinning regression:
+// a follower caches one open tail fd per thread while the store is
+// live, and the poll that observes the writer's close must release
+// every one of them — a closed trace is fd-free between calls,
+// exactly like a cold reader.
+func TestStoreFollowerClosesTailFDsOnFlip(t *testing.T) {
+	baseline := countFDs(t)
+
+	dir := t.TempDir()
+	pins := NewPinSet()
+	w, err := Create(Options{Dir: dir, SegmentBytes: 1 << 20}) // tails never seal mid-run
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ddg.NewShardedSized(0, 64)
+	c.SetSpill(w)
+	model := ddg.NewFull()
+	const threads = 3
+	appendPhase(c, model, threads, 1, 200)
+	c.Flush()
+
+	r, err := Open(dir, ReaderOptions{Follow: true, Pins: pins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Threads() // load every index: tail fds get cached here
+	if got := pins.Len(); got != threads {
+		t.Fatalf("%d tail pins while live, want %d", got, threads)
+	}
+	withTails := countFDs(t)
+	if withTails < baseline+threads {
+		t.Fatalf("expected ≥%d cached tail fds (fds %d -> %d)", threads, baseline, withTails)
+	}
+
+	// Polls reuse the cached fds instead of stacking new ones.
+	appendPhase(c, model, threads, 201, 400)
+	c.Flush()
+	if _, err := r.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFDs(t); got != withTails {
+		t.Fatalf("poll changed fd count %d -> %d; tail fds must be reused", withTails, got)
+	}
+
+	// The flip: writer closes, next poll observes it, every tail fd
+	// and pin must be gone.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFDs(t); got != baseline {
+		t.Fatalf("fd count %d after live→closed flip, want the pre-store baseline %d (tail fds leaked)", got, baseline)
+	}
+	if got := pins.Len(); got != 0 {
+		t.Fatalf("%d pins survived the flip", got)
+	}
+	for _, ts := range r.allThreads() {
+		ts.mu.Lock()
+		leaked := ts.tailF != nil
+		ts.mu.Unlock()
+		if leaked {
+			t.Fatalf("tid %d still caches a tail fd after the flip", ts.tid)
+		}
+	}
+	diffSource(t, model, r)
+
+	// Close on an already fd-free reader stays a no-op.
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreDamageBurstKeepsHealthyCache is the negative-cache
+// crowding regression: damaged-chunk (negative) entries used to share
+// the decoded-chunk FIFO, so a burst of damage probes evicted every
+// healthy hot chunk. Negatives now live in their own bounded set: a
+// healthy cached chunk must survive the burst — provably served from
+// memory, because its on-disk bytes are corrupted before the burst.
+func TestStoreDamageBurstKeepsHealthyCache(t *testing.T) {
+	dir := t.TempDir()
+	spillAll(t, dir, Options{SegmentBytes: 1 << 20}, 1, 1200, 64)
+
+	const cacheBound = 2
+	r, err := Open(dir, ReaderOptions{CacheChunks: cacheBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Threads() // index while intact
+
+	ts := r.thread(0)
+	ts.mu.Lock()
+	chunks := append([]tChunk(nil), ts.chunks...)
+	path := ts.segs[0].path
+	ts.mu.Unlock()
+	if len(chunks) < 8 {
+		t.Fatal("need a longer chunk run")
+	}
+
+	hot := ddg.MakeID(0, chunks[0].lastN)
+	if deps := ddg.CountDeps(r, hot); len(deps) == 0 {
+		t.Fatal("test id has no deps")
+	}
+
+	// Corrupt the hot chunk AND a burst of others on disk. From here
+	// on, only the in-memory cache can serve the hot chunk.
+	flip := func(tc tChunk) {
+		off := tc.off + int64(uvarintLen(uint64(tc.plen)))
+		buf := make([]byte, 1)
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ReadAt(buf, off); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		f.Close()
+		overwriteAt(t, path, off, []byte{buf[0] ^ 0x5A})
+	}
+	burst := chunks[1 : 1+2*cacheBound+1]
+	flip(chunks[0])
+	for _, tc := range burst {
+		flip(tc)
+	}
+	for _, tc := range burst {
+		if deps := ddg.CountDeps(r, ddg.MakeID(0, tc.lastN)); len(deps) != 0 {
+			t.Fatalf("damaged chunk at %d served %d deps", tc.off, len(deps))
+		}
+	}
+	if !r.Recovered() {
+		t.Fatal("damage burst not reported as recovery")
+	}
+
+	// The regression: before negatives were bounded separately, the
+	// burst above FIFO-evicted the healthy chunk, and this re-read the
+	// now-corrupt bytes and served a hole.
+	if deps := ddg.CountDeps(r, hot); len(deps) == 0 {
+		t.Fatal("healthy hot chunk evicted by damage negatives")
+	}
+
+	ts.mu.Lock()
+	negs, negFifo := len(ts.neg), len(ts.negFifo)
+	ts.mu.Unlock()
+	if negs > cacheBound || negFifo > cacheBound {
+		t.Fatalf("negative set unbounded: %d entries / %d fifo over bound %d", negs, negFifo, cacheBound)
+	}
+}

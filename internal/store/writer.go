@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"scaldift/internal/ddg"
 )
@@ -27,6 +28,13 @@ type Options struct {
 	// sealed, making sealed data crash-durable at the cost of
 	// throughput.
 	SyncOnSeal bool
+	// Retain bounds on-disk history. After every seal (and once more
+	// at Close) the writer deletes aged-out or over-budget sealed
+	// segments, records the trimmed per-thread windows in the
+	// manifest, and bumps the generation — slicers then report
+	// truncation at the trimmed edge exactly like the old in-memory
+	// ring did at its window edge. The zero value retains everything.
+	Retain Retention
 }
 
 func (o *Options) fill() {
@@ -54,6 +62,8 @@ type Writer struct {
 	chunks   uint64
 	bytes    uint64 // chunk payload bytes spilled
 	sealed   uint64 // segments sealed
+	trimmed  uint64 // segments deleted by retention
+	now      func() time.Time
 	err      error
 	closed   bool
 
@@ -111,6 +121,7 @@ func Create(opts Options) (*Writer, error) {
 		segs:     make(map[int]*openSeg),
 		segCount: make(map[int]int),
 		man:      manifest{Header: manifestHeader, Version: manifestVersion},
+		now:      time.Now,
 	}
 	if err := writeManifest(opts.Dir, &w.man); err != nil {
 		return nil, err
@@ -242,6 +253,7 @@ func (w *Writer) sealSeg(seg *openSeg, publish bool) {
 	m.Sealed = true
 	m.Chunks = len(seg.index)
 	m.Bytes = seg.size + int64(len(ftr))
+	m.SealedAt = w.now().Unix()
 	if n := len(seg.index); n > 0 {
 		m.BaseN = seg.index[0].baseN
 		m.LastN = seg.index[n-1].lastN
@@ -251,6 +263,10 @@ func (w *Writer) sealSeg(seg *openSeg, publish bool) {
 	delete(w.segs, seg.tid)
 	w.sealed++
 	if publish {
+		// Retention runs at seal granularity: the manifest rewrite
+		// below journals the trim (victims gone from Segments, Trimmed
+		// updated) before any file is unlinked, Sia persist style.
+		victims := w.retainLocked()
 		// Mid-run manifests list sealed segments only, so "listed"
 		// always implies "footer present": open tails stay unlisted
 		// until their own seal (a follower finds them by directory
@@ -265,8 +281,41 @@ func (w *Writer) sealSeg(seg *openSeg, publish bool) {
 		}
 		if err := writeManifest(w.opts.Dir, &pub); err != nil {
 			w.err = err
+			return
+		}
+		w.unlinkLocked(victims)
+	}
+}
+
+// retainLocked plans and applies Options.Retain against the in-memory
+// manifest (w.mu held). It only mutates metadata; the caller must
+// rewrite the manifest before passing the returned victims to
+// unlinkLocked. Open segments' manifest indexes are re-pointed after
+// the segment list compacts.
+func (w *Writer) retainLocked() []manifestSeg {
+	victims := planTrim(&w.man, w.opts.Retain, w.now())
+	if len(victims) == 0 {
+		return nil
+	}
+	removed := applyTrim(&w.man, victims)
+	for i := range w.man.Segments {
+		if seg, ok := w.segs[w.man.Segments[i].TID]; ok && seg.file == w.man.Segments[i].File {
+			seg.manIdx = i
 		}
 	}
+	return removed
+}
+
+// unlinkLocked deletes trimmed segment files after their removal has
+// been journaled in the manifest (w.mu held — the unlinks are cheap
+// and ordering them inside the lock keeps trim atomic with respect to
+// a concurrent Close).
+func (w *Writer) unlinkLocked(victims []manifestSeg) {
+	if len(victims) == 0 {
+		return
+	}
+	unlinkTrimmed(w.opts.Dir, victims, w.opts.Retain.Pins)
+	w.trimmed += uint64(len(victims))
 }
 
 // syncDir fsyncs a directory, making renames and entry creations in
@@ -308,11 +357,15 @@ func (w *Writer) Close() error {
 	w.segs = nil
 	w.closed = true
 	if w.err == nil {
+		victims := w.retainLocked()
 		w.man.Closed = true
 		w.man.Generation++
 		w.err = writeManifest(w.opts.Dir, &w.man)
 		if w.err == nil && w.opts.SyncOnSeal {
 			w.err = syncDir(w.opts.Dir)
+		}
+		if w.err == nil {
+			w.unlinkLocked(victims)
 		}
 	}
 	return w.err
@@ -345,6 +398,14 @@ func (w *Writer) SegmentsSealed() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.sealed
+}
+
+// SegmentsTrimmed returns the number of segment files retention has
+// deleted.
+func (w *Writer) SegmentsTrimmed() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.trimmed
 }
 
 var _ ddg.ChunkSink = (*Writer)(nil)
