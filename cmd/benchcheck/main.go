@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"scaldift/internal/benchfp"
 )
 
 // metrics maps a metric unit ("events/s", "MB/s") to its value.
@@ -52,7 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	baselines, err := loadBaselines(*baselineDir)
+	baselines, hosts, err := loadBaselines(*baselineDir)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,7 +70,7 @@ func main() {
 		fmt.Println("benchcheck: no benchmark in the output matches a checked-in baseline")
 		return
 	}
-	fmt.Print(markdown(rows, *threshold))
+	fmt.Print(markdown(rows, *threshold, hosts))
 	regressions := 0
 	for _, r := range rows {
 		if r.regressed {
@@ -131,6 +133,7 @@ func parseBenchOutput(r io.Reader) (map[string]metrics, error) {
 // Baseline JSON shapes — only the fields benchcheck reads.
 
 type storeBench struct {
+	Host  *benchfp.Host `json:"host"`
 	Spill []struct {
 		Mode    string  `json:"mode"`
 		MBPerS  float64 `json:"mb_per_sec"`
@@ -139,6 +142,7 @@ type storeBench struct {
 }
 
 type lifecycleBench struct {
+	Host      *benchfp.Host `json:"host"`
 	Retention struct {
 		MBPerS float64 `json:"mb_per_sec"`
 	} `json:"retention_spill"`
@@ -148,6 +152,7 @@ type lifecycleBench struct {
 }
 
 type pipelineBench struct {
+	Host    *benchfp.Host `json:"host"`
 	Results []struct {
 		Workload string `json:"workload"`
 		Domain   string `json:"domain"`
@@ -157,11 +162,13 @@ type pipelineBench struct {
 		Offloaded []struct {
 			Workers      int     `json:"workers"`
 			EventsPerSec float64 `json:"events_per_sec"`
+			AnalyzeEPS   float64 `json:"analyze_events_per_sec"`
 		} `json:"offloaded"`
 	} `json:"results"`
 }
 
 type ontracBench struct {
+	Host    *benchfp.Host `json:"host"`
 	Results []struct {
 		Workload string `json:"workload"`
 		Inline   struct {
@@ -204,8 +211,16 @@ func camelName(s string) string {
 // loadBaselines derives benchmark-name → expected metrics from the
 // BENCH_*.json files present in dir. Missing files are skipped: a
 // repo state with only some baselines still gets the others checked.
-func loadBaselines(dir string) (map[string]metrics, error) {
-	out := make(map[string]metrics)
+// hosts collects the fingerprint each baseline file recorded (if any),
+// so the report can show where the baselines were measured — the first
+// thing to check before believing a cross-host "regression".
+func loadBaselines(dir string) (out map[string]metrics, hosts []string, err error) {
+	out = make(map[string]metrics)
+	host := func(file string, h *benchfp.Host) {
+		if h != nil {
+			hosts = append(hosts, file+": "+h.String())
+		}
+	}
 	add := func(name, unit string, v float64) {
 		if v <= 0 {
 			return
@@ -220,8 +235,9 @@ func loadBaselines(dir string) (map[string]metrics, error) {
 
 	var sb storeBench
 	if ok, err := readJSON(filepath.Join(dir, "BENCH_store.json"), &sb); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else if ok {
+		host("BENCH_store.json", sb.Host)
 		for _, sp := range sb.Spill {
 			switch sp.Mode {
 			case "sync":
@@ -234,29 +250,41 @@ func loadBaselines(dir string) (map[string]metrics, error) {
 
 	var lb lifecycleBench
 	if ok, err := readJSON(filepath.Join(dir, "BENCH_lifecycle.json"), &lb); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else if ok {
+		host("BENCH_lifecycle.json", lb.Host)
 		add("BenchmarkLifecycleRetentionSpill", "MB/s", lb.Retention.MBPerS)
 		add("BenchmarkLifecycleCacheHit", "queries/s", lb.Cache.HitQueriesPS)
 	}
 
 	var pb pipelineBench
 	if ok, err := readJSON(filepath.Join(dir, "BENCH_pipeline.json"), &pb); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else if ok {
+		host("BENCH_pipeline.json", pb.Host)
 		for _, res := range pb.Results {
 			base := "BenchmarkPipeline" + camelName(res.Workload) + camelName(res.Domain)
 			add(base+"Inline", "events/s", res.Inline.EventsPerSec)
 			for _, off := range res.Offloaded {
 				add(fmt.Sprintf("%sW%d", base, off.Workers), "events/s", off.EventsPerSec)
+				// The analyze-side rate (propagation only, record cost
+				// excluded) is tracked by the BenchmarkPipelineEpoch*
+				// suite, which runs the W2 configuration; the other
+				// worker counts stay recorded in the JSON without a
+				// benchmark counterpart.
+				if off.Workers == 2 {
+					add("BenchmarkPipelineEpoch"+camelName(res.Workload)+camelName(res.Domain)+"W2",
+						"events/s", off.AnalyzeEPS)
+				}
 			}
 		}
 	}
 
 	var ob ontracBench
 	if ok, err := readJSON(filepath.Join(dir, "BENCH_ontrac.json"), &ob); err != nil {
-		return nil, err
+		return nil, nil, err
 	} else if ok {
+		host("BENCH_ontrac.json", ob.Host)
 		for _, res := range ob.Results {
 			base := "BenchmarkOntracPipeline" + camelName(res.Workload)
 			add(base+"Inline", "events/s", res.Inline.EventsPerSec)
@@ -266,7 +294,7 @@ func loadBaselines(dir string) (map[string]metrics, error) {
 			}
 		}
 	}
-	return out, nil
+	return out, hosts, nil
 }
 
 // readJSON loads path into v; ok=false when the file does not exist.
@@ -342,10 +370,17 @@ func missingBaselines(measured, baselines map[string]metrics) []string {
 	return out
 }
 
-// markdown renders the comparison as a GitHub job-summary table.
-func markdown(rows []row, threshold float64) string {
+// markdown renders the comparison as a GitHub job-summary table,
+// headed by the host each baseline file was measured on next to the
+// host doing the measuring — cross-host deltas are noise until proven
+// otherwise (docs/PERF.md describes the protocol).
+func markdown(rows []row, threshold float64, hosts []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### Benchmark baseline check (threshold: -%.0f%%)\n\n", 100*threshold)
+	for _, h := range hosts {
+		fmt.Fprintf(&b, "- baseline %s\n", h)
+	}
+	fmt.Fprintf(&b, "- this run: %s\n\n", benchfp.Current())
 	b.WriteString("| benchmark | metric | baseline | measured | delta | status |\n")
 	b.WriteString("|---|---|---:|---:|---:|---|\n")
 	for _, r := range rows {

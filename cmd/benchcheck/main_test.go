@@ -48,7 +48,7 @@ func TestParseBenchOutput(t *testing.T) {
 func TestLoadBaselinesFromRepo(t *testing.T) {
 	// The real checked-in baselines must map onto real benchmark
 	// names; this pins the name derivation against the JSON shapes.
-	b, err := loadBaselines("../..")
+	b, hosts, err := loadBaselines("../..")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +60,10 @@ func TestLoadBaselinesFromRepo(t *testing.T) {
 		"BenchmarkPipelineKeyedMergeLineageW2",
 		"BenchmarkPipelineMapReduceLineageInline",
 		"BenchmarkPipelineStreamAggBoolW2",
+		"BenchmarkPipelineEpochStreamAggLineageW2",
+		"BenchmarkPipelineEpochKeyedMergeLineageW2",
+		"BenchmarkPipelineEpochMapReduceLineageW2",
+		"BenchmarkPipelineEpochStreamAggBoolW2",
 		"BenchmarkOntracPipelineCompressInline",
 		"BenchmarkOntracPipelineCompressRecordOnly",
 		"BenchmarkOntracPipelineCompressOffloadedW2",
@@ -78,6 +82,16 @@ func TestLoadBaselinesFromRepo(t *testing.T) {
 		if m[unit] <= 0 {
 			t.Errorf("%s: no positive %s baseline (%v)", name, unit, m)
 		}
+	}
+	// The pipeline baseline records the host it was measured on.
+	found := false
+	for _, h := range hosts {
+		if strings.HasPrefix(h, "BENCH_pipeline.json:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no host fingerprint recorded for BENCH_pipeline.json (hosts: %v)", hosts)
 	}
 }
 
@@ -102,9 +116,12 @@ func TestCompareAndMarkdown(t *testing.T) {
 	if rows[1].name != "BenchmarkB" || !rows[1].regressed {
 		t.Errorf("row B wrong: %+v", rows[1])
 	}
-	md := markdown(rows, 0.30)
+	md := markdown(rows, 0.30, []string{"BENCH_x.json: linux/amd64 (1 cpu, GOMAXPROCS 1, go0)"})
 	if !strings.Contains(md, "**REGRESSION**") || !strings.Contains(md, "| BenchmarkA |") {
 		t.Errorf("markdown missing content:\n%s", md)
+	}
+	if !strings.Contains(md, "baseline BENCH_x.json:") || !strings.Contains(md, "this run:") {
+		t.Errorf("markdown missing host fingerprints:\n%s", md)
 	}
 
 	// Exactly at the threshold is not a regression (> not >=).

@@ -54,6 +54,7 @@ func Suite() []*Analyzer {
 		CancelPoll,
 		StickyErr,
 		TrimPin,
+		EpochFence,
 	}
 }
 

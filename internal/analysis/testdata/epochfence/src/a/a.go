@@ -1,0 +1,101 @@
+// Package a exercises the epochfence analyzer: shadow.Epoch ownership
+// and quiescent accessors are coordinator-only, and shadow.View values
+// must not escape their epoch.
+package a
+
+import (
+	"shadow"
+)
+
+// pool models pipeline.Pool: the closures it runs are worker context.
+type pool struct{}
+
+func (p *pool) Run(tasks []func()) {
+	for _, t := range tasks {
+		t()
+	}
+}
+
+var globalView *shadow.View
+
+type coord struct {
+	mem   *shadow.Epoch
+	views []*shadow.View
+	view  *shadow.View
+	pool  *pool
+}
+
+// dispatch is the coordinator: every ownership call, the quiescent
+// accessor between windows, and the field-cached views are all legal.
+func (c *coord) dispatch() {
+	c.mem.BeginEpoch()
+	c.mem.Claim(0, 1)
+	c.views = append(c.views, c.mem.View(1))
+	c.view = c.mem.View(2)
+	v := c.mem.ClaimAll()
+	v.Set(8, 1)
+	_ = c.mem.Tainted()
+}
+
+func (c *coord) workerOwnership() {
+	c.pool.Run([]func(){
+		func() {
+			c.mem.BeginEpoch() // want "BeginEpoch called from a worker context"
+			v := c.mem.View(2) // want "View called from a worker context"
+			v.Set(8, 1)        // View access from a worker is the entire point: allowed
+		},
+	})
+}
+
+func (c *coord) workerQuiescent() {
+	go func() {
+		c.mem.Claim(1, 2)   // want "Claim called from a worker context"
+		_ = c.mem.Tainted() // want "quiescent-only accessor shadow.Epoch.Tainted"
+		c.mem.Set(8, 1)     // want "quiescent-only accessor shadow.Epoch.Set"
+	}()
+}
+
+func retainGlobal(v *shadow.View) {
+	globalView = v // want "package-level variable globalView outlives its epoch"
+}
+
+func sendView(ch chan *shadow.View, v *shadow.View) {
+	ch <- v // want "sent on a channel escapes its epoch"
+}
+
+type worker struct {
+	view *shadow.View
+}
+
+func (w *worker) retainInWorker(v *shadow.View) {
+	go func() {
+		w.view = v // want "retained past the window barrier"
+		_ = v.Get(0)
+	}()
+}
+
+// coordField caches a view outside any worker context — the
+// coordinator revalidates ownership each epoch, so this is legal.
+func (w *worker) coordField(v *shadow.View) {
+	w.view = v
+}
+
+// nestedWorker stays worker context all the way down.
+func (c *coord) nestedWorker() {
+	go func() {
+		inner := func() {
+			c.mem.ClaimAll() // want "ClaimAll called from a worker context"
+		}
+		inner()
+	}()
+}
+
+// suppressed documents a closure that provably runs on the
+// coordinating goroutine; the ignore directive keeps the diagnostic
+// out (and the driver would flag the ignore itself if it went stale).
+func (c *coord) suppressed() {
+	run := func() {
+		c.mem.BeginEpoch() //scaldift:ignore epochfence called synchronously below on the coordinating goroutine
+	}
+	run()
+}

@@ -1,0 +1,52 @@
+// Package shadow is a fixture stand-in for scaldift/internal/shadow:
+// the epochfence analyzer matches Epoch and View by package name, so
+// this minimal non-generic model exercises it without importing the
+// real shadow memory.
+package shadow
+
+// Epoch models the epoch-sharded shadow memory.
+type Epoch struct {
+	owners []int32
+}
+
+// NewEpoch returns a model epoch with the given shard count.
+func NewEpoch(shards int) *Epoch { return &Epoch{owners: make([]int32, shards)} }
+
+// BeginEpoch models the ownership reset.
+func (e *Epoch) BeginEpoch() {
+	for i := range e.owners {
+		e.owners[i] = -1
+	}
+}
+
+// Claim models per-shard ownership assignment.
+func (e *Epoch) Claim(shard int, owner int32) { e.owners[shard] = owner }
+
+// ClaimAll models exclusive claiming for sequential propagation.
+func (e *Epoch) ClaimAll() *View { return &View{} }
+
+// View models minting an owner's access capability.
+func (e *Epoch) View(owner int32) *View { return &View{id: owner} }
+
+// Get models a quiescent-only whole-memory read.
+func (e *Epoch) Get(addr int64) int64 { return 0 }
+
+// Set models a quiescent-only whole-memory write.
+func (e *Epoch) Set(addr int64, val int64) {}
+
+// Tainted models a quiescent-only aggregate.
+func (e *Epoch) Tainted() int { return 0 }
+
+// Range models quiescent-only iteration.
+func (e *Epoch) Range(f func(addr int64, v int64) bool) {}
+
+// View models one owner's window-scoped access capability.
+type View struct {
+	id int32
+}
+
+// Get models an owned-shard read (worker-legal).
+func (v *View) Get(addr int64) int64 { return 0 }
+
+// Set models an owned-shard write (worker-legal).
+func (v *View) Set(addr int64, val int64) {}

@@ -32,24 +32,44 @@ type node struct {
 	hi    Ref   // child when the variable is 1
 }
 
-type opKey struct {
-	op   uint8
-	a, b Ref
-}
-
 const (
 	opUnion uint8 = iota
 	opIntersect
 	opDiff
 )
 
+// opEntry is one slot of the direct-mapped computed table: the last
+// result of `op` applied to (a, b) that hashed here. Slots are lossy —
+// a colliding operation overwrites — which only ever costs a
+// recomputation, never correctness: operation results are canonical
+// refs regardless of how they were (re)derived.
+type opEntry struct {
+	a, b Ref
+	op   uint8
+	ok   bool
+	r    Ref
+}
+
 // Manager owns the node table and operation caches for one BDD space.
 // It is not safe for concurrent use.
+//
+// The unique table and computed table are hand-rolled open-addressed /
+// direct-mapped arrays rather than Go maps: every propagation step of
+// the lineage domain funnels into mk and the set operations, and on
+// those paths the runtime map's hashing and probing dominated the
+// whole analyze stage of the offloaded pipeline (see docs/PERF.md).
 type Manager struct {
-	bits   int
-	nodes  []node
-	unique map[node]Ref
-	cache  map[opKey]Ref
+	bits  int
+	nodes []node
+	// unique is the hash-consing table: open-addressed, power-of-two
+	// sized, storing Refs (0 = empty slot; the terminals are never
+	// consed). The node a slot identifies lives in nodes[ref].
+	unique  []Ref
+	uniqLen int
+	// ops is the direct-mapped computed table for Union / Intersect /
+	// Diff. It is reallocated (entries dropped) when the node table
+	// grows, keeping its size proportional to the working set.
+	ops    []opEntry
 	counts map[Ref]uint64 // memoized set cardinalities
 
 	// Traversal scratch reused across NodeSize/NodeSizeAll calls: a
@@ -59,6 +79,12 @@ type Manager struct {
 	stamp uint32
 }
 
+const (
+	initialUniqueSlots = 1 << 10
+	initialOpSlots     = 1 << 10
+	maxOpSlots         = 1 << 18
+)
+
 // NewManager creates a manager for sets over {0 .. 2^bits-1}.
 func NewManager(bits int) *Manager {
 	if bits <= 0 || bits > 62 {
@@ -67,8 +93,8 @@ func NewManager(bits int) *Manager {
 	m := &Manager{
 		bits:   bits,
 		nodes:  make([]node, 2, 1024),
-		unique: make(map[node]Ref),
-		cache:  make(map[opKey]Ref),
+		unique: make([]Ref, initialUniqueSlots),
+		ops:    make([]opEntry, initialOpSlots),
 		counts: make(map[Ref]uint64),
 	}
 	// nodes[0] and nodes[1] are the terminals; level = bits marks
@@ -76,6 +102,52 @@ func NewManager(bits int) *Manager {
 	m.nodes[0] = node{level: int32(bits)}
 	m.nodes[1] = node{level: int32(bits)}
 	return m
+}
+
+// hashNode mixes a node's fields into a table index seed
+// (splitmix64-style finalizer over the packed children + level).
+func hashNode(level int32, lo, hi Ref) uint64 {
+	h := uint64(uint32(lo)) | uint64(uint32(hi))<<32
+	h ^= uint64(uint32(level)) << 21
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// growUnique doubles the unique table and rehashes every interned
+// node. The computed table is reallocated alongside (dropping its
+// entries — they are only memoization) so it scales with node count.
+func (m *Manager) growUnique() {
+	nt := make([]Ref, len(m.unique)*2)
+	mask := uint64(len(nt) - 1)
+	for r := Ref(2); int(r) < len(m.nodes); r++ {
+		n := m.nodes[r]
+		i := hashNode(n.level, n.lo, n.hi) & mask
+		for nt[i] != 0 {
+			i = (i + 1) & mask
+		}
+		nt[i] = r
+	}
+	m.unique = nt
+	if len(m.ops) < len(nt) && len(m.ops) < maxOpSlots {
+		m.ops = make([]opEntry, len(m.ops)*2)
+	}
+}
+
+// lookupOp consults the computed table for op(a, b).
+func (m *Manager) lookupOp(op uint8, a, b Ref) (Ref, bool) {
+	e := &m.ops[(hashNode(int32(op), a, b))&uint64(len(m.ops)-1)]
+	if e.ok && e.op == op && e.a == a && e.b == b {
+		return e.r, true
+	}
+	return 0, false
+}
+
+// storeOp records op(a, b) = r, evicting whatever hashed to the slot.
+func (m *Manager) storeOp(op uint8, a, b Ref, r Ref) {
+	m.ops[(hashNode(int32(op), a, b))&uint64(len(m.ops)-1)] = opEntry{a: a, b: b, op: op, ok: true, r: r}
 }
 
 // Bits returns the universe width.
@@ -91,13 +163,25 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
-	n := node{level: level, lo: lo, hi: hi}
-	if r, ok := m.unique[n]; ok {
-		return r
+	mask := uint64(len(m.unique) - 1)
+	i := hashNode(level, lo, hi) & mask
+	for {
+		r := m.unique[i]
+		if r == 0 {
+			break
+		}
+		if n := m.nodes[r]; n.level == level && n.lo == lo && n.hi == hi {
+			return r
+		}
+		i = (i + 1) & mask
 	}
 	r := Ref(len(m.nodes))
-	m.nodes = append(m.nodes, n)
-	m.unique[n] = r
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[i] = r
+	m.uniqLen++
+	if m.uniqLen*4 >= len(m.unique)*3 {
+		m.growUnique()
+	}
 	return r
 }
 
@@ -163,8 +247,7 @@ func (m *Manager) Union(a, b Ref) Ref {
 	if a > b {
 		a, b = b, a
 	}
-	key := opKey{op: opUnion, a: a, b: b}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.lookupOp(opUnion, a, b); ok {
 		return r
 	}
 	na, nb := m.nodes[a], m.nodes[b]
@@ -177,7 +260,7 @@ func (m *Manager) Union(a, b Ref) Ref {
 	default:
 		r = m.mk(nb.level, m.Union(a, nb.lo), m.Union(a, nb.hi))
 	}
-	m.cache[key] = r
+	m.storeOp(opUnion, a, b, r)
 	return r
 }
 
@@ -196,8 +279,7 @@ func (m *Manager) Intersect(a, b Ref) Ref {
 	if a > b {
 		a, b = b, a
 	}
-	key := opKey{op: opIntersect, a: a, b: b}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.lookupOp(opIntersect, a, b); ok {
 		return r
 	}
 	na, nb := m.nodes[a], m.nodes[b]
@@ -210,7 +292,7 @@ func (m *Manager) Intersect(a, b Ref) Ref {
 	default:
 		r = m.mk(nb.level, m.Intersect(a, nb.lo), m.Intersect(a, nb.hi))
 	}
-	m.cache[key] = r
+	m.storeOp(opIntersect, a, b, r)
 	return r
 }
 
@@ -224,8 +306,7 @@ func (m *Manager) Diff(a, b Ref) Ref {
 	case a == b:
 		return False
 	}
-	key := opKey{op: opDiff, a: a, b: b}
-	if r, ok := m.cache[key]; ok {
+	if r, ok := m.lookupOp(opDiff, a, b); ok {
 		return r
 	}
 	na, nb := m.nodes[a], m.nodes[b]
@@ -241,7 +322,7 @@ func (m *Manager) Diff(a, b Ref) Ref {
 	default:
 		r = m.mk(nb.level, m.Diff(a, nb.lo), m.Diff(a, nb.hi))
 	}
-	m.cache[key] = r
+	m.storeOp(opDiff, a, b, r)
 	return r
 }
 

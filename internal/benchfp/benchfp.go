@@ -1,0 +1,69 @@
+// Package benchfp captures a host fingerprint for benchmark baseline
+// files. Every BENCH_*.json writer embeds Current() next to its
+// numbers, and cmd/benchcheck prints the recorded fingerprint beside
+// its comparison table, so a "regression" measured on a different (or
+// merely busier) machine than the baseline's is diagnosable as
+// cross-host noise instead of being mistaken for a real slowdown.
+// docs/PERF.md describes the update protocol the fingerprint backs.
+package benchfp
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Host identifies the machine and runtime a baseline was measured on.
+type Host struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// Current fingerprints the running host. The CPU model comes from
+// /proc/cpuinfo and is empty on platforms without it — the field is
+// best-effort context, not an identifier.
+func Current() Host {
+	return Host{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// String renders the fingerprint the way benchcheck prints it.
+func (h Host) String() string {
+	model := ""
+	if h.CPUModel != "" {
+		model = " " + h.CPUModel
+	}
+	return fmt.Sprintf("%s/%s%s (%d cpu, GOMAXPROCS %d, %s)",
+		h.OS, h.Arch, model, h.NumCPU, h.GoMaxProcs, h.GoVersion)
+}
+
+// cpuModel returns the first "model name" from /proc/cpuinfo, or "".
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if _, val, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"scaldift/internal/benchfp"
 	"scaldift/internal/ddg"
 	"scaldift/internal/pipeline"
 	"scaldift/internal/prog"
@@ -141,6 +142,7 @@ type ontracBenchRow struct {
 
 type ontracBenchReport struct {
 	GoMaxProcs int              `json:"gomaxprocs"`
+	Host       benchfp.Host     `json:"host"`
 	Note       string           `json:"note"`
 	Results    []ontracBenchRow `json:"results"`
 }
@@ -168,6 +170,7 @@ func TestWriteBenchOntracJSON(t *testing.T) {
 	opts := AllOptimizations()
 	report := ontracBenchReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       benchfp.Current(),
 		Note: "events = VM instructions executed. record_only is the execution-thread cost of " +
 			"the offloaded design (batching recorder, ddg.TraceRelevant filter); inline carries " +
 			"the full ONTRAC extractor on the execution thread. Offloaded events_per_sec is " +

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"scaldift/internal/bdd"
+	"scaldift/internal/benchfp"
 	"scaldift/internal/dift"
 	"scaldift/internal/lineage"
 	"scaldift/internal/prog"
@@ -124,6 +125,42 @@ func BenchmarkPipelineMapReduceLineageInline(b *testing.B) {
 }
 func BenchmarkPipelineMapReduceLineageW2(b *testing.B) { benchPipeline(b, mkMapReduce, "lineage", 2) }
 
+// benchEpochAnalyze measures the analyze stage alone: one offline
+// trace, recorded once, propagated through a fresh epoch-sharded
+// pipeline per iteration. These are the BenchmarkPipelineEpoch* rows
+// benchcheck compares against analyze_events_per_sec in
+// BENCH_pipeline.json — the propagation speed of the epoch-sharded
+// shadow path, with the recorder out of the picture.
+func benchEpochAnalyze(b *testing.B, mk func() *prog.Workload, domain string, workers int) {
+	w := mk()
+	m := w.NewMachine()
+	trace, res := Collect(m, vm.DefaultBatchEvents)
+	if res.Failed {
+		b.Fatal(res.FailMsg)
+	}
+	steps := m.Steps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consumeTrace(b, w, domain, workers, trace)
+	}
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(steps)*float64(b.N)/el, "events/s")
+	}
+}
+
+func BenchmarkPipelineEpochStreamAggLineageW2(b *testing.B) {
+	benchEpochAnalyze(b, mkStreamAgg, "lineage", 2)
+}
+func BenchmarkPipelineEpochKeyedMergeLineageW2(b *testing.B) {
+	benchEpochAnalyze(b, mkKeyedMerge, "lineage", 2)
+}
+func BenchmarkPipelineEpochMapReduceLineageW2(b *testing.B) {
+	benchEpochAnalyze(b, mkMapReduce, "lineage", 2)
+}
+func BenchmarkPipelineEpochStreamAggBoolW2(b *testing.B) {
+	benchEpochAnalyze(b, mkStreamAgg, "bool", 2)
+}
+
 // --- BENCH_pipeline.json -------------------------------------------
 
 type benchOffloaded struct {
@@ -137,6 +174,11 @@ type benchOffloaded struct {
 	// Sustained pipeline throughput: events / max(record, analyze) —
 	// the steady-state rate of the slowest stage.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Analyze-stage throughput alone: events / analyze_s. This is the
+	// number the BenchmarkPipelineEpoch* rows track — the propagation
+	// speed of the epoch-sharded shadow path, independent of the
+	// recorder.
+	AnalyzeEventsPerSec float64 `json:"analyze_events_per_sec"`
 	// Fully serialized single-core figure: events / (record+analyze).
 	EventsPerSecSerialized float64 `json:"events_per_sec_serialized"`
 	SlowdownVsNative       float64 `json:"slowdown_vs_native"`
@@ -158,9 +200,10 @@ type benchRow struct {
 }
 
 type benchReport struct {
-	GoMaxProcs int        `json:"gomaxprocs"`
-	Note       string     `json:"note"`
-	Results    []benchRow `json:"results"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Host       benchfp.Host `json:"host"`
+	Note       string       `json:"note"`
+	Results    []benchRow   `json:"results"`
 }
 
 // bestOf runs f reps times and returns the fastest wall seconds.
@@ -197,6 +240,7 @@ func TestWriteBenchPipelineJSON(t *testing.T) {
 	}
 	report := benchReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       benchfp.Current(),
 		Note: "events = VM instructions analyzed. Offloaded events_per_sec is sustained " +
 			"pipeline throughput events/max(record_s, analyze_s): the record stage runs on the " +
 			"execution core and the analyze stage consumes the batch stream on spare cores, so " +
@@ -266,6 +310,7 @@ func TestWriteBenchPipelineJSON(t *testing.T) {
 				AnalyzeS:               analyzeS,
 				ConcurrentS:            concurrentS,
 				EventsPerSec:           float64(steps) / bottleneck,
+				AnalyzeEventsPerSec:    float64(steps) / analyzeS,
 				EventsPerSecSerialized: float64(steps) / (recordS + analyzeS),
 				SlowdownVsNative:       concurrentS / nativeS,
 			})

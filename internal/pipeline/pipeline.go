@@ -5,18 +5,35 @@
 // consumes the sealed batches downstream.
 //
 // Two analysis kinds run on this machinery today: the DIFT
-// propagation pipeline in this package (taint labels over sharded
-// shadow memory) and the ONTRAC dependence-tracing stage in
-// internal/ontrac (per-thread dependence extraction into sharded
-// compact buffers). Both plug a BatchHandler into the shared Consumer
-// (consumer.go), which owns windowing, flush-group alignment, sync
-// ordering, and batch recycling.
+// propagation pipeline in this package (taint labels over the
+// epoch-sharded shadow.Epoch memory) and the ONTRAC dependence-
+// tracing stage in internal/ontrac (per-thread dependence extraction
+// into sharded compact buffers). Both plug a BatchHandler into the
+// shared Consumer (consumer.go), which owns windowing, flush-group
+// alignment, sync ordering, and batch recycling.
+//
+// The analyze side is organized around the shadow.Epoch ownership
+// contract (see internal/shadow/epoch.go, enforced by the epochfence
+// analyzer): before dispatching a window, the consumer goroutine
+// assigns every shard the window touches to exactly one worker, and
+// workers then propagate through owner Views with zero atomics — the
+// Pool.Run dispatch/barrier pair is the only fence. Which windows can
+// be dispatched that way is decided by the adaptive conflict learner
+// (learner.go): it learns per-(thread,PC) address footprints so that
+// repeat windows of a loopy program skip the full address scan, and
+// verifies every learned footprint against the events it covers, so a
+// stale footprint (a program phase change) can only cost a precise
+// re-scan, never a missed conflict. Propagation itself runs through
+// dift.StepBatch, which amortizes per-event dispatch over runs of
+// same-shape instructions. docs/PERF.md quantifies what each piece
+// buys; docs/ARCHITECTURE.md places the package in the full path.
 //
 // Equivalence with the inline engines is by construction plus
 // checking, not hope:
 //
-//   - workers run the same transfer function (dift.Step) the inline
-//     engine runs — the semantics exist once;
+//   - workers run the same transfer function (dift.Step, batched by
+//     dift.StepBatch) the inline engine runs — the semantics exist
+//     once;
 //   - a window of per-thread batch chains is propagated concurrently
 //     only when conflict analysis proves the chains touch disjoint
 //     memory; windows that conflict (racy or closely synchronized
@@ -50,7 +67,10 @@ type Options struct {
 	// QueueDepth bounds the recorder→consumer channel; a full queue
 	// applies backpressure to the execution thread (default 64).
 	QueueDepth int
-	// Shards is the shadow-memory shard count (default 8).
+	// Shards is the epoch-sharded shadow memory's shard count
+	// (default 64, rounded up to a power of two). At 64 or fewer
+	// shards every conflict-mask bit names exactly one shard, so the
+	// window analysis never fuses ownership groups spuriously.
 	Shards int
 }
 
@@ -70,7 +90,7 @@ func (o *Options) Fill() {
 		o.QueueDepth = 64
 	}
 	if o.Shards <= 0 {
-		o.Shards = 8
+		o.Shards = 64
 	}
 }
 
@@ -83,16 +103,32 @@ type Pipeline[L comparable] struct {
 	dom   dift.Domain[L]
 	pol   dift.Policy
 	opt   Options
-	mem   *shadow.Sharded[L]
+	mem   *shadow.Epoch[L]
 	regs  []*[isa.NumRegs]L
 	sinks []dift.Sink[L]
 
-	cons *Consumer
-	pool *Pool
+	cons    *Consumer
+	pool    *Pool
+	learner conflictLearner
 
 	events  uint64
 	seqBuf  []*vm.Event
 	recsBuf []sinkRec[L]
+	// capBuf is the window-scoped sink capture and sinkBuf the
+	// one-element dift.Sink slice wrapping it, hoisted here so the
+	// sequential paths allocate nothing per window.
+	capBuf  capture[L]
+	sinkBuf []dift.Sink[L]
+	// Per-owner state for parallel windows, grown once (ensureOwners)
+	// and reused every window: owner g always runs task g with view g,
+	// capturing into caps[g] through wsinks[g]. Only the window's
+	// chain grouping (curChains/curGroups) changes per dispatch.
+	views     []*shadow.View[L]
+	caps      []*capture[L]
+	wsinks    [][]dift.Sink[L]
+	tasks     []func()
+	curChains [][]*vm.Batch
+	curGroups [][]int
 }
 
 // New creates a pipeline over the given domain and policy and starts
@@ -105,9 +141,11 @@ func New[L comparable](dom dift.Domain[L], pol dift.Policy, opt Options) *Pipeli
 		dom:  dom,
 		pol:  pol,
 		opt:  opt,
-		mem:  shadow.NewSharded[L](opt.Shards),
+		mem:  shadow.NewEpoch[L](opt.Shards),
 		pool: NewPool(opt.Workers),
 	}
+	p.learner = newConflictLearner(p.mem.Shards())
+	p.sinkBuf = []dift.Sink[L]{&p.capBuf}
 	p.cons = NewConsumer(difthandler[L]{p}, opt.WindowBatches)
 	p.ensureTID(0)
 	return p
@@ -195,6 +233,11 @@ func (p *Pipeline[L]) TaintedWords() int { return p.mem.Tainted() }
 
 // ShadowSizeWords returns the allocated shadow size in cells.
 func (p *Pipeline[L]) ShadowSizeWords() int { return p.mem.SizeWords() }
+
+// ConflictStats returns the window conflict analysis counters (see
+// LearnerStats). Read only while the pipeline is quiescent — after
+// Close, or between Consume calls.
+func (p *Pipeline[L]) ConflictStats() LearnerStats { return p.learner.stats }
 
 // Events returns how many recorded events the pipeline propagated.
 // The recorder filters label-irrelevant events, so this is smaller

@@ -45,23 +45,26 @@ func (h difthandler[L]) Sync(b *vm.Batch) {
 }
 
 // processWindow propagates one window: concurrently when its
-// per-thread chains provably touch disjoint memory, otherwise as an
-// ordered sequential merge.
+// per-thread chains provably touch disjoint memory (per the adaptive
+// conflict analysis in learner.go), otherwise as an ordered
+// sequential merge.
 func (p *Pipeline[L]) processWindow(w []*vm.Batch) {
 	chains, maxTID := GroupChains(w)
 	p.ensureTID(maxTID)
-	switch {
-	case len(chains) == 1:
+	if len(chains) == 1 {
 		// One thread: its batches are already in both program and
 		// global order, so propagate directly with no Seq sort. Sink
 		// observations still go through capture/deliver — that is the
 		// stable-copy guarantee, not an ordering step.
 		p.applyChain(chains[0])
-	case conflicts(chains):
-		p.applyOrdered(w)
-	default:
-		p.applyParallel(chains, w)
+		return
 	}
+	plan := p.learner.analyze(chains)
+	if plan.kind == planOrdered {
+		p.applyOrdered(w)
+		return
+	}
+	p.applyParallel(chains, plan, w)
 }
 
 // applyChain propagates one thread's batch chain in order on the
@@ -69,16 +72,14 @@ func (p *Pipeline[L]) processWindow(w []*vm.Batch) {
 // relative to everything processed so far), then delivers the
 // captured sink observations.
 func (p *Pipeline[L]) applyChain(ch []*vm.Batch) {
-	cap := capture[L]{recs: p.recsBuf[:0]}
-	sinks := []dift.Sink[L]{&cap}
+	sh := p.mem.ClaimAll()
+	p.capBuf.recs = p.recsBuf[:0]
 	for _, b := range ch {
-		for i := range b.Events {
-			dift.Step(p.dom, p.pol, p, p.mem, sinks, &b.Events[i])
-		}
+		dift.StepBatch(p.dom, p.pol, p, sh, p.sinkBuf, b.Events)
 		p.events += uint64(len(b.Events))
 	}
-	p.deliver(cap.recs)
-	p.recsBuf = cap.recs[:0]
+	p.deliver(p.capBuf.recs)
+	p.recsBuf = p.capBuf.recs[:0]
 }
 
 // applyOrdered merges the batches' events by global sequence number
@@ -93,17 +94,17 @@ func (p *Pipeline[L]) applyOrdered(w []*vm.Batch) {
 		}
 	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
-	cap := capture[L]{recs: p.recsBuf[:0]}
-	sinks := []dift.Sink[L]{&cap}
+	sh := p.mem.ClaimAll()
+	p.capBuf.recs = p.recsBuf[:0]
 	for _, ev := range evs {
 		if ev.Kind == vm.EvSpawn {
 			p.ensureTID(int(ev.DstVal))
 		}
-		dift.Step(p.dom, p.pol, p, p.mem, sinks, ev)
+		dift.Step(p.dom, p.pol, p, sh, p.sinkBuf, ev)
 	}
 	p.events += uint64(len(evs))
-	p.deliver(cap.recs)
-	p.recsBuf = cap.recs[:0]
+	p.deliver(p.capBuf.recs)
+	p.recsBuf = p.capBuf.recs[:0]
 	// Drop the event pointers before keeping the buffer: its batches
 	// return to the recorder pool as soon as this window ends.
 	for i := range evs {
@@ -112,27 +113,27 @@ func (p *Pipeline[L]) applyOrdered(w []*vm.Batch) {
 	p.seqBuf = evs[:0] //scaldift:ignore poolescape reslice of the nil-cleared scratch: length 0, pointers already dropped above
 }
 
-// applyParallel dispatches each thread's chain to the worker pool,
-// waits, and replays the recorded sink observations in sequence
-// order.
-func (p *Pipeline[L]) applyParallel(chains [][]*vm.Batch, w []*vm.Batch) {
-	caps := make([]capture[L], len(chains))
-	tasks := make([]func(), len(chains))
-	for i, ch := range chains {
-		i, ch := i, ch
-		tasks[i] = func() {
-			sinks := []dift.Sink[L]{&caps[i]}
-			for _, b := range ch {
-				for j := range b.Events {
-					dift.Step(p.dom, p.pol, p, p.mem, sinks, &b.Events[j])
-				}
-			}
-		}
+// applyParallel dispatches the plan's ownership groups to the worker
+// pool — each group claims its shards before dispatch and propagates
+// its chains through a lock-free owner View — then replays the
+// recorded sink observations in sequence order. The Pool.Run
+// dispatch/barrier pair is the fence required by the shadow.Epoch
+// contract: ownership is assigned before it and revised only after.
+// All per-owner machinery (views, captures, task closures) is cached
+// on the Pipeline, so dispatching a window allocates nothing.
+func (p *Pipeline[L]) applyParallel(chains [][]*vm.Batch, plan windowPlan, w []*vm.Batch) {
+	p.mem.BeginEpoch()
+	n := len(plan.groups)
+	p.ensureOwners(n)
+	for g := 0; g < n; g++ {
+		p.claimMask(plan.masks[g], int32(g))
+		p.caps[g].recs = p.caps[g].recs[:0]
 	}
-	p.pool.Run(tasks)
+	p.curChains, p.curGroups = chains, plan.groups
+	p.pool.Run(p.tasks[:n])
 	recs := p.recsBuf[:0]
-	for i := range caps {
-		recs = append(recs, caps[i].recs...)
+	for g := 0; g < n; g++ {
+		recs = append(recs, p.caps[g].recs...)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ev.Seq < recs[j].ev.Seq })
 	for _, b := range w {
@@ -140,6 +141,30 @@ func (p *Pipeline[L]) applyParallel(chains [][]*vm.Batch, w []*vm.Batch) {
 	}
 	p.deliver(recs)
 	p.recsBuf = recs[:0]
+}
+
+// ensureOwners grows the cached per-owner state to n owners.
+func (p *Pipeline[L]) ensureOwners(n int) {
+	for len(p.tasks) < n {
+		g := len(p.tasks)
+		c := &capture[L]{}
+		p.views = append(p.views, p.mem.View(int32(g)))
+		p.caps = append(p.caps, c)
+		p.wsinks = append(p.wsinks, []dift.Sink[L]{c})
+		p.tasks = append(p.tasks, func() { p.runGroup(g) })
+	}
+}
+
+// runGroup propagates the current window's group g: its chains, in
+// window order, through owner g's view.
+func (p *Pipeline[L]) runGroup(g int) {
+	sh := p.views[g]
+	sinks := p.wsinks[g]
+	for _, ci := range p.curGroups[g] {
+		for _, b := range p.curChains[ci] {
+			dift.StepBatch(p.dom, p.pol, p, sh, sinks, b.Events)
+		}
+	}
 }
 
 // deliver replays sink observations (already sequence-ordered) into
@@ -193,24 +218,19 @@ func chainAccess(ch []*vm.Batch) access {
 	return a
 }
 
-// conflicts reports whether any chain's writes overlap another
-// chain's reads or writes — the condition under which concurrent
-// propagation could diverge from the inline order.
-func conflicts(chains [][]*vm.Batch) bool {
-	accs := make([]access, len(chains))
-	for i, ch := range chains {
-		accs[i] = chainAccess(ch)
-	}
-	for i := range accs {
-		for j := i + 1; j < len(accs); j++ {
-			if overlaps(accs[i].writes, accs[j].writes) ||
-				overlaps(accs[i].writes, accs[j].reads) ||
-				overlaps(accs[j].writes, accs[i].reads) {
-				return true
-			}
+// claimMask claims every shard covered by a conflict mask for owner:
+// bit i of the mask covers the shards ≡ i (mod 64) (see
+// conflictLearner.maskBit).
+func (p *Pipeline[L]) claimMask(mask uint64, owner int32) {
+	n := p.mem.Shards()
+	for bit := 0; bit < 64 && bit < n; bit++ {
+		if mask&(1<<bit) == 0 {
+			continue
+		}
+		for s := bit; s < n; s += 64 {
+			p.mem.Claim(s, owner)
 		}
 	}
-	return false
 }
 
 // overlaps reports whether the two address sets intersect.

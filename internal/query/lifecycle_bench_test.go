@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"scaldift/internal/benchfp"
 	"scaldift/internal/ddg"
 	"scaldift/internal/store"
 )
@@ -143,6 +144,7 @@ func BenchmarkLifecycleCacheHit(b *testing.B) {
 
 type lifecycleBenchReport struct {
 	GoMaxProcs int                 `json:"gomaxprocs"`
+	Host       benchfp.Host        `json:"host"`
 	Note       string              `json:"note"`
 	Retention  lifecycleBenchSpill `json:"retention_spill"`
 	Cache      lifecycleBenchCache `json:"cache"`
@@ -172,6 +174,7 @@ func TestWriteBenchLifecycleJSON(t *testing.T) {
 
 	report := lifecycleBenchReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       benchfp.Current(),
 		Note: "Fleet lifecycle layer. retention_spill = replaying a pre-recorded 4-thread " +
 			"chunk stream through a writer holding a 64KiB byte budget over 16KiB segments, " +
 			"so every seal plans, journals (manifest first, unlink second), and applies " +

@@ -1,0 +1,150 @@
+package shadow
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEpochRoundsToPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{{0, 1}, {1, 1}, {3, 4}, {8, 8}, {9, 16}} {
+		if got := NewEpoch[bool](c.ask).Shards(); got != c.want {
+			t.Errorf("NewEpoch(%d).Shards() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestEpochMatchesMemSequential(t *testing.T) {
+	e := NewEpoch[int32](4)
+	v := e.ClaimAll()
+	m := NewMem[int32]()
+	// Mixed positive, negative, and page-boundary addresses.
+	addrs := []int64{0, 1, 1023, 1024, 1025, -1, -1024, -1025, 5 << 20, 3*1024 - 1, 3*1024 + 1}
+	for i, a := range addrs {
+		val := int32(i + 1)
+		v.Set(a, val)
+		m.Set(a, val)
+	}
+	for _, a := range addrs {
+		if v.Get(a) != m.Get(a) {
+			t.Fatalf("addr %d: epoch view %d, mem %d", a, v.Get(a), m.Get(a))
+		}
+		if e.Get(a) != m.Get(a) {
+			t.Fatalf("addr %d: epoch %d, mem %d", a, e.Get(a), m.Get(a))
+		}
+	}
+	if e.Tainted() != m.Tainted() {
+		t.Fatalf("tainted: epoch %d, mem %d", e.Tainted(), m.Tainted())
+	}
+	if e.SizeWords() != m.SizeWords() {
+		t.Fatalf("size: epoch %d, mem %d", e.SizeWords(), m.SizeWords())
+	}
+	// Unset and clear behave the same.
+	v.Set(addrs[0], 0)
+	m.Set(addrs[0], 0)
+	if e.Tainted() != m.Tainted() {
+		t.Fatal("tainted diverged after zero write")
+	}
+	got := map[int64]int32{}
+	e.Range(func(a int64, val int32) bool { got[a] = val; return true })
+	want := map[int64]int32{}
+	m.Range(func(a int64, val int32) bool { want[a] = val; return true })
+	if len(got) != len(want) {
+		t.Fatalf("range: %d cells vs %d", len(got), len(want))
+	}
+	for a, val := range want {
+		if got[a] != val {
+			t.Fatalf("range[%d] = %d, want %d", a, got[a], val)
+		}
+	}
+	e.Clear()
+	if e.Tainted() != 0 || e.Pages() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestEpochConcurrentOwnedWriters(t *testing.T) {
+	// The pipeline's contract: before dispatch, every shard a worker
+	// will touch is claimed for that worker's owner id; the workers
+	// then write with no locks at all.
+	e := NewEpoch[int64](1024)
+	const writers = 4
+	const perWriter = 2000
+	e.BeginEpoch()
+	bases := make([]int64, writers)
+	for w := 0; w < writers; w++ {
+		// 64 pages apart: each writer's ~6-page stride footprint maps
+		// to shard indices no other writer's footprint can reach.
+		bases[w] = int64(w) * 64 * pageSize
+		for i := int64(0); i < perWriter; i++ {
+			e.Claim(e.ShardOf(bases[w]+i*3), int32(w))
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			v := e.View(int32(w))
+			base := bases[w]
+			for i := int64(0); i < perWriter; i++ {
+				v.Set(base+i*3, base+i) // stride across pages and shards
+				if got := v.Get(base + i*3); got != base+i {
+					t.Errorf("writer %d: readback %d != %d", w, got, base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := writers*perWriter - 1 // i=0 of writer 0 stores the zero value
+	if got := e.Tainted(); got != want {
+		t.Fatalf("tainted = %d, want %d", got, want)
+	}
+}
+
+func TestEpochOwnershipViolationPanics(t *testing.T) {
+	e := NewEpoch[int32](4)
+	e.BeginEpoch()
+	e.Claim(e.ShardOf(0), 1)
+	v := e.View(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to a shard owned by another id did not panic")
+		}
+	}()
+	v.Set(0, 7)
+}
+
+func TestEpochUnownedAccessPanics(t *testing.T) {
+	e := NewEpoch[int32](4)
+	e.BeginEpoch() // everything unowned
+	v := e.View(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read of an unowned shard did not panic")
+		}
+	}()
+	_ = v.Get(123)
+}
+
+func TestEpochClaimAllIsExclusive(t *testing.T) {
+	e := NewEpoch[int32](2)
+	v := e.ClaimAll()
+	v.Set(0, 1)
+	v.Set(1<<20, 2)
+	// A later epoch revokes the exclusive claim.
+	e.BeginEpoch()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("stale exclusive view survived BeginEpoch")
+			}
+		}()
+		v.Set(0, 3)
+	}()
+	// Re-claiming restores it.
+	v2 := e.ClaimAll()
+	if got := v2.Get(1 << 20); got != 2 {
+		t.Fatalf("value lost across epochs: got %d, want 2", got)
+	}
+}

@@ -4,17 +4,19 @@ import (
 	"testing"
 )
 
-// FuzzShadowMem cross-checks the paged Mem and the sharded variant
-// against a plain map under arbitrary operation streams, with the
-// address derivation biased toward the paging hazards: negative
-// addresses and page boundaries (addr = k*1024 ± 1).
+// FuzzShadowMem cross-checks the paged Mem and the epoch-sharded
+// variant (through an exclusive view) against a plain map under
+// arbitrary operation streams, with the address derivation biased
+// toward the paging hazards: negative addresses and page boundaries
+// (addr = k*1024 ± 1).
 func FuzzShadowMem(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 0})
 	f.Add([]byte{255, 2, 7, 1, 1, 1, 0, 2, 128, 0, 5, 0})
 	f.Add([]byte{3, 0, 9, 3, 3, 0, 9, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		mem := NewMem[int16]()
-		sh := NewSharded[int16](4)
+		ep := NewEpoch[int16](4)
+		sh := ep.ClaimAll()
 		ref := map[int64]int16{}
 		for i := 0; i+3 < len(data); i += 4 {
 			// k in [-128,127] selects a page; delta in {-1,0,+1} lands
@@ -38,12 +40,12 @@ func FuzzShadowMem(f *testing.F) {
 					t.Fatalf("Mem.Get(%d) = %d, want %d", addr, got, want)
 				}
 				if got := sh.Get(addr); got != want {
-					t.Fatalf("Sharded.Get(%d) = %d, want %d", addr, got, want)
+					t.Fatalf("Epoch.Get(%d) = %d, want %d", addr, got, want)
 				}
 			case 3: // occasionally clear everything
 				if data[i+2] > 250 {
 					mem.Clear()
-					sh.Clear()
+					ep.Clear()
 					ref = map[int64]int16{}
 				}
 			}
@@ -52,12 +54,12 @@ func FuzzShadowMem(f *testing.F) {
 		if mem.Tainted() != len(ref) {
 			t.Fatalf("Mem.Tainted() = %d, want %d", mem.Tainted(), len(ref))
 		}
-		if sh.Tainted() != len(ref) {
-			t.Fatalf("Sharded.Tainted() = %d, want %d", sh.Tainted(), len(ref))
+		if ep.Tainted() != len(ref) {
+			t.Fatalf("Epoch.Tainted() = %d, want %d", ep.Tainted(), len(ref))
 		}
 		for a, v := range ref {
 			if mem.Get(a) != v || sh.Get(a) != v {
-				t.Fatalf("addr %d: mem %d, sharded %d, want %d", a, mem.Get(a), sh.Get(a), v)
+				t.Fatalf("addr %d: mem %d, epoch %d, want %d", a, mem.Get(a), sh.Get(a), v)
 			}
 		}
 		seen := 0
@@ -72,15 +74,15 @@ func FuzzShadowMem(f *testing.F) {
 			t.Fatalf("Mem.Range visited %d cells, want %d", seen, len(ref))
 		}
 		seen = 0
-		sh.Range(func(a int64, v int16) bool {
+		ep.Range(func(a int64, v int16) bool {
 			if ref[a] != v {
-				t.Fatalf("Sharded.Range leaked addr %d = %d (want %d)", a, v, ref[a])
+				t.Fatalf("Epoch.Range leaked addr %d = %d (want %d)", a, v, ref[a])
 			}
 			seen++
 			return true
 		})
 		if seen != len(ref) {
-			t.Fatalf("Sharded.Range visited %d cells, want %d", seen, len(ref))
+			t.Fatalf("Epoch.Range visited %d cells, want %d", seen, len(ref))
 		}
 	})
 }

@@ -5,6 +5,15 @@
 // memory shadow uses a paged map so that the common case — most of
 // memory untainted — costs nothing, which is how the paper's tools
 // keep the memory overhead of taint tracking tolerable.
+//
+// Two memory shapes live here. Mem is the single-goroutine paged map
+// the inline engine uses. Epoch partitions memory across Mems by page
+// index and coordinates concurrent access by epoch-scoped shard
+// ownership instead of locks: the pipeline's coordinator assigns
+// shards to workers before each window dispatch, workers access only
+// their owned shards through Views, and the dispatch/barrier pair is
+// the sole fence (concurrency contract on the Epoch type; enforced by
+// the epochfence analyzer and a per-access ownership check).
 package shadow
 
 // PageBits sets the shadow page size (1<<PageBits words per page).

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"scaldift/internal/benchfp"
 	"scaldift/internal/ddg"
 	"scaldift/internal/isa"
 	"scaldift/internal/ontrac"
@@ -175,6 +176,7 @@ func BenchmarkStoreParallelBackward(b *testing.B)  { benchReopenSlice(b, 2) }
 
 type storeBenchReport struct {
 	GoMaxProcs int                  `json:"gomaxprocs"`
+	Host       benchfp.Host         `json:"host"`
 	Note       string               `json:"note"`
 	Workload   storeBenchWorkload   `json:"workload"`
 	Spill      []storeBenchSpill    `json:"spill"`
@@ -388,6 +390,7 @@ func TestWriteBenchStoreJSON(t *testing.T) {
 	chunks, bytes := benchChunks(t)
 	report := storeBenchReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Host:       benchfp.Current(),
 		Note: "Persistent segmented trace store. spill = writing the workload's pre-recorded " +
 			"chunk stream through a fresh store (async adds the writer goroutine hand-off); " +
 			"cold_reopen = Open from disk + one whole-execution backward slice with a cold " +
